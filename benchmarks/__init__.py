@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating the paper's tables and figures (E1-E8)."""

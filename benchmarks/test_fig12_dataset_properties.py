@@ -1,0 +1,95 @@
+"""E1 — Figure 12: dataset property table and delta-size distribution.
+
+Regenerates, for each of the DC/LC/BF/LF workloads (scaled), the rows of
+the paper's Figure 12: number of versions, number of revealed deltas,
+average version size, MCA storage / sum-recreation / max-recreation and the
+SPT counterparts, plus the normalized delta-size distribution summary.
+
+Expected shape (asserted): the MCA storage cost is far below the SPT
+storage cost, while its recreation costs are far above — the two reference
+points the whole paper trades off between.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure12_dataset_properties
+
+from .conftest import print_series_table
+
+
+def test_figure12_dataset_properties(scenario_datasets, benchmark):
+    table = benchmark.pedantic(
+        figure12_dataset_properties, args=(scenario_datasets,), rounds=1, iterations=1
+    )
+
+    headers = [
+        "dataset",
+        "versions",
+        "deltas",
+        "avg version size",
+        "MCA storage",
+        "MCA sum R",
+        "MCA max R",
+        "SPT storage",
+        "SPT sum R",
+        "SPT max R",
+    ]
+    rows = []
+    for name, summary in table.items():
+        rows.append(
+            [
+                name,
+                summary["num_versions"],
+                summary["num_deltas"],
+                summary["average_version_size"],
+                summary["mca_storage_cost"],
+                summary["mca_sum_recreation"],
+                summary["mca_max_recreation"],
+                summary["spt_storage_cost"],
+                summary["spt_sum_recreation"],
+                summary["spt_max_recreation"],
+            ]
+        )
+    print_series_table("Figure 12: dataset properties", headers, rows)
+
+    for name, summary in table.items():
+        # Storage: MCA is the minimum, SPT stores (nearly) everything fully.
+        assert summary["mca_storage_cost"] < summary["spt_storage_cost"]
+        # Recreation: the ordering flips.
+        assert summary["mca_sum_recreation"] >= summary["spt_sum_recreation"]
+        assert summary["mca_max_recreation"] >= summary["spt_max_recreation"]
+        # SPT sum-recreation equals the total of the version sizes (every
+        # version read directly), which Figure 12 reports explicitly.
+        assert summary["spt_sum_recreation"] <= summary["total_version_size"] * 1.001
+
+
+def test_figure12_normalized_delta_distribution(scenario_datasets, benchmark):
+    def distributions():
+        return {
+            name: dataset.normalized_delta_sizes()
+            for name, dataset in scenario_datasets.items()
+        }
+
+    result = benchmark.pedantic(distributions, rounds=1, iterations=1)
+    rows = []
+    for name, values in result.items():
+        values = sorted(values)
+        rows.append(
+            [
+                name,
+                len(values),
+                values[0],
+                values[len(values) // 2],
+                sum(values) / len(values),
+                values[-1],
+            ]
+        )
+    print_series_table(
+        "Figure 12 (right): normalized delta sizes (delta / avg version size)",
+        ["dataset", "count", "min", "median", "mean", "max"],
+        rows,
+    )
+    # Deltas are small relative to full versions on every workload — the
+    # premise that makes delta-based storage worthwhile.
+    for name, values in result.items():
+        assert sum(values) / len(values) < 1.0

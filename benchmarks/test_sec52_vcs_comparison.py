@@ -1,0 +1,45 @@
+"""E2 — Section 5.2: comparison with SVN, Git and gzip on the LF workload.
+
+The paper imports the 100 Linux forks into SVN (8.5 GB), gzips them
+(10.2 GB), repacks them with Git (202 MB) and computes the MCA solution
+(159–516 MB).  The absolute numbers depend on the payloads; the *ordering*
+is what this bench reproduces on the simulated LF workload:
+
+    naive  >  gzip  >  SVN skip-delta  >  GitH  >=  MCA
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import section52_vcs_comparison
+
+from .conftest import print_series_table
+
+
+def test_section52_vcs_comparison(scenario_datasets, benchmark):
+    dataset = scenario_datasets["LF"]
+    comparison = benchmark.pedantic(
+        section52_vcs_comparison, args=(dataset,), rounds=1, iterations=1
+    )
+
+    headers = ["scheme", "storage", "sum recreation", "max recreation"]
+    rows = [
+        [name, report["storage_cost"], report["sum_recreation"], report["max_recreation"]]
+        for name, report in comparison.items()
+    ]
+    print_series_table("Section 5.2: VCS comparison on LF", headers, rows)
+
+    naive = comparison["naive"]["storage_cost"]
+    gzip_cost = comparison["gzip"]["storage_cost"]
+    svn = comparison["svn_skip_delta"]["storage_cost"]
+    gith = comparison["gith"]["storage_cost"]
+    mca = comparison["mca"]["storage_cost"]
+
+    # The paper's ordering of storage costs.
+    assert mca <= gith + 1e-6
+    assert gith < svn or gith < gzip_cost
+    assert gzip_cost < naive
+    assert mca < 0.5 * naive, "version-aware storage must dominate naive storage"
+
+    # Recreation side: the naive layout reads every version directly, so its
+    # max recreation cost is the smallest of all schemes.
+    assert comparison["naive"]["max_recreation"] <= comparison["mca"]["max_recreation"] + 1e-6

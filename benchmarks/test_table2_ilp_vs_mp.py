@@ -1,0 +1,68 @@
+"""E8 — Table 2: the exact ILP optimum vs. the MP heuristic on small datasets.
+
+The paper generates three small datasets (15, 25 and 50 versions) with
+all-pairs deltas, sweeps the max-recreation threshold θ and compares the
+storage cost of the Gurobi ILP solution against MP's.  Here the ILP is
+solved with the HiGHS solver shipped in SciPy (with the MCA shortcut and a
+branch-and-bound cross-check on the smallest instance).
+
+Expected shape: MP's storage cost is always ≥ the ILP optimum but stays
+close to it for most thresholds, exactly as Table 2 reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.mp import minimum_feasible_threshold
+from repro.bench.experiments import table2_ilp_vs_mp
+from repro.datagen import densely_connected
+
+from .conftest import print_series_table
+
+
+def build_small_instance(num_versions: int, seed: int):
+    """A small all-pairs instance in the spirit of the paper's v15/v25/v50."""
+    dataset = densely_connected(num_versions, seed=seed, hop_limit=0)
+    return dataset.instance
+
+
+@pytest.mark.parametrize("num_versions,seed", [(15, 31), (25, 32)])
+def test_table2_ilp_vs_mp(num_versions, seed, benchmark):
+    instance = build_small_instance(num_versions, seed)
+    minimum = minimum_feasible_threshold(instance)
+    thresholds = [minimum * factor for factor in (1.0, 1.1, 1.25, 1.5, 2.0)]
+
+    rows = benchmark.pedantic(
+        table2_ilp_vs_mp, args=(instance, thresholds), rounds=1, iterations=1
+    )
+
+    print_series_table(
+        f"Table 2 (v{num_versions}): ILP vs MP storage for a sweep of θ",
+        ["theta", "ILP storage", "MP storage", "MP/ILP"],
+        [
+            [
+                row["theta"],
+                row["ilp_storage"],
+                row["mp_storage"],
+                row["mp_storage"] / row["ilp_storage"],
+            ]
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        # The exact optimum can never exceed the heuristic.
+        assert row["ilp_storage"] <= row["mp_storage"] + 1e-6
+        # Both respect the recreation bound.
+        assert row["ilp_max_recreation"] <= row["theta"] + 1e-6
+        assert row["mp_max_recreation"] <= row["theta"] + 1e-6
+
+    # MP tracks the optimum within a small factor across the sweep (the
+    # paper's v15/v25 rows are within ~1.2x of the ILP).
+    ratios = [row["mp_storage"] / row["ilp_storage"] for row in rows]
+    assert min(ratios) <= 1.2
+
+    # Storage decreases (weakly) as the threshold is loosened.
+    ilp_storages = [row["ilp_storage"] for row in rows]
+    assert all(b <= a + 1e-6 for a, b in zip(ilp_storages, ilp_storages[1:]))

@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Ensures the in-tree ``src/`` layout is importable even when the package has
+not been pip-installed (useful on fully offline environments where editable
+installs are unavailable because the ``wheel`` package is missing).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on minimal offline environments
+where the ``wheel`` package (needed for PEP 660 editable wheels) is not
+available and pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""``python -m repro`` — console entry point for the prototype CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

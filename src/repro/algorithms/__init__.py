@@ -1,0 +1,61 @@
+"""Graph-algorithm substrate and the paper's heuristics.
+
+Every algorithm here is implemented from scratch on top of the shared data
+structures (:class:`~repro.algorithms.priority_queue.AddressablePriorityQueue`
+and :class:`~repro.algorithms.union_find.UnionFind`):
+
+* storage-optimal trees — Prim/Kruskal MST and Edmonds' minimum-cost
+  arborescence (Problem 1);
+* the shortest-path tree (Problem 2);
+* the paper's heuristics — LMG, MP, LAST and GitH (Problems 3–6);
+* exact solvers for small instances — the Section 2.3 MILP and a
+  branch-and-bound cross-check.
+"""
+
+from .arborescence import minimum_arborescence, minimum_arborescence_plan
+from .gith import git_heuristic_plan, gith_sweep
+from .ilp import (
+    branch_and_bound_max_recreation,
+    solve_ilp_max_recreation,
+    solve_ilp_sum_recreation,
+)
+from .last import last_plan, last_sweep
+from .lmg import lmg_sweep, local_move_greedy, solve_problem_5
+from .mp import minimum_feasible_threshold, modified_prim, solve_problem_4
+from .mst import (
+    kruskal_minimum_spanning_tree,
+    minimum_spanning_plan_undirected,
+    minimum_storage_plan,
+    prim_minimum_spanning_tree,
+)
+from .priority_queue import AddressablePriorityQueue
+from .shortest_path import dijkstra, shortest_path_distances, shortest_path_plan, shortest_path_tree
+from .union_find import UnionFind
+
+__all__ = [
+    "minimum_arborescence",
+    "minimum_arborescence_plan",
+    "git_heuristic_plan",
+    "gith_sweep",
+    "branch_and_bound_max_recreation",
+    "solve_ilp_max_recreation",
+    "solve_ilp_sum_recreation",
+    "last_plan",
+    "last_sweep",
+    "lmg_sweep",
+    "local_move_greedy",
+    "solve_problem_5",
+    "minimum_feasible_threshold",
+    "modified_prim",
+    "solve_problem_4",
+    "kruskal_minimum_spanning_tree",
+    "minimum_spanning_plan_undirected",
+    "minimum_storage_plan",
+    "prim_minimum_spanning_tree",
+    "AddressablePriorityQueue",
+    "dijkstra",
+    "shortest_path_distances",
+    "shortest_path_plan",
+    "shortest_path_tree",
+    "UnionFind",
+]

@@ -1,0 +1,240 @@
+"""MP — the Modified Prim heuristic (Problems 4 and 6).
+
+Section 4.2 of the paper.  MP applies when the *maximum* recreation cost is
+bounded or minimized:
+
+* Problem 6 — minimize total storage ``C`` subject to ``max R_i ≤ θ``;
+* Problem 4 — minimize ``max R_i`` subject to ``C ≤ β`` (solved here by a
+  bisection over θ that repeatedly calls the Problem 6 routine).
+
+The heuristic grows a spanning tree from the dummy root in the manner of
+Prim's algorithm, always dequeuing the version with the smallest *marginal
+storage cost* ``l(V_i)``, while maintaining the invariant that the recorded
+recreation cost ``d(V_i)`` of every version in the tree stays within θ.
+Unlike plain Prim, a version already inside the tree can later be re-parented
+when a cheaper delta towards it is discovered that does not worsen its
+recreation cost (lines 10–17 of Algorithm 2 in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.instance import ROOT, ProblemInstance
+from ..core.storage_plan import StoragePlan
+from ..core.version import VersionID
+from ..exceptions import InfeasibleProblemError, SolverError
+from .priority_queue import AddressablePriorityQueue
+from .shortest_path import shortest_path_distances
+
+__all__ = ["modified_prim", "solve_problem_4", "minimum_feasible_threshold"]
+
+
+def minimum_feasible_threshold(instance: ProblemInstance) -> float:
+    """The smallest θ for which Problem 6 is feasible.
+
+    Every version can always be materialized, so θ must be at least the
+    largest shortest-path recreation cost (which is itself at most the
+    largest materialization cost).
+    """
+    distances = shortest_path_distances(instance)
+    return float(max(distances.values()))
+
+
+def modified_prim(
+    instance: ProblemInstance,
+    recreation_threshold: float,
+    *,
+    strict: bool = True,
+) -> StoragePlan:
+    """Problem 6: minimize total storage subject to ``max R_i ≤ θ``.
+
+    Parameters
+    ----------
+    instance:
+        The versions and Δ/Φ matrices.
+    recreation_threshold:
+        The bound θ on every version's recreation cost.
+    strict:
+        When true (default), raise
+        :class:`~repro.exceptions.InfeasibleProblemError` if θ is below the
+        minimum feasible threshold.  When false, clamp θ up to that minimum
+        instead (useful inside parameter sweeps).
+
+    Returns
+    -------
+    StoragePlan
+        A feasible plan whose maximum recreation cost is at most θ.
+    """
+    theta = float(recreation_threshold)
+    minimum = minimum_feasible_threshold(instance)
+    if theta < minimum - 1e-9:
+        if strict:
+            raise InfeasibleProblemError(
+                f"recreation threshold {theta:g} is below the minimum feasible "
+                f"threshold {minimum:g}"
+            )
+        theta = minimum
+
+    # l(v): marginal storage cost of the best known edge into v.
+    # d(v): recreation cost of v through that edge.
+    # p(v): the corresponding parent.
+    storage_label: dict[VersionID, float] = {vid: math.inf for vid in instance.version_ids}
+    recreation_label: dict[VersionID, float] = {vid: math.inf for vid in instance.version_ids}
+    parent: dict[VersionID, VersionID] = {}
+    in_tree: set[VersionID] = set()
+
+    queue: AddressablePriorityQueue[object] = AddressablePriorityQueue()
+    queue.push(ROOT, 0.0)
+    root_recreation = {ROOT: 0.0}
+
+    while queue:
+        node, _ = queue.pop()
+        if node is not ROOT:
+            in_tree.add(node)
+        node_recreation = root_recreation[ROOT] if node is ROOT else recreation_label[node]
+
+        for edge in instance.out_edges(node):
+            target = edge.target
+            candidate_recreation = node_recreation + edge.recreation
+            if target in in_tree:
+                # Re-parent a version already in the tree when the new delta
+                # is cheaper to store and does not worsen its recreation cost.
+                if (
+                    candidate_recreation <= recreation_label[target] + 1e-12
+                    and edge.storage < storage_label[target] - 1e-12
+                    and not _is_ancestor(parent, target, node)
+                ):
+                    parent[target] = node if node is not ROOT else ROOT
+                    recreation_label[target] = candidate_recreation
+                    storage_label[target] = edge.storage
+                continue
+            if candidate_recreation > theta * (1 + 1e-12) + 1e-9:
+                continue
+            if edge.storage < storage_label[target] - 1e-12:
+                storage_label[target] = edge.storage
+                recreation_label[target] = candidate_recreation
+                parent[target] = node if node is not ROOT else ROOT
+                queue.push(target, edge.storage)
+
+    plan = StoragePlan()
+    for vid in instance.version_ids:
+        if vid in parent:
+            plan.assign(vid, parent[vid])
+
+    missing = [vid for vid in instance.version_ids if vid not in in_tree and vid not in parent]
+    if missing:
+        # Greedy growth can strand a version when its materialization cost
+        # alone exceeds θ and every delta towards it hangs off a subtree the
+        # greedy order attached at a higher recreation cost than its
+        # shortest path.  Splicing the version's shortest path into the plan
+        # restores feasibility (every prefix of a shortest path is within θ
+        # whenever θ is at least the minimum feasible threshold).
+        from .shortest_path import shortest_path_tree
+
+        spt_parent = shortest_path_tree(instance)
+        for vid in missing:
+            chain: list[VersionID] = []
+            node: VersionID = vid
+            while node is not ROOT:
+                chain.append(node)
+                node = spt_parent[node]
+            for vertex in reversed(chain):
+                plan.assign(vertex, spt_parent[vertex])
+
+    _repair_recreation_violations(instance, plan, theta)
+    return plan
+
+
+def _is_ancestor(
+    parent: dict[VersionID, VersionID], candidate: VersionID, node: object
+) -> bool:
+    """True when ``candidate`` lies on the parent chain of ``node``.
+
+    Used to reject re-parenting moves that would create a cycle (storing a
+    version as a delta from one of its own descendants).
+    """
+    current = node
+    while current is not ROOT and current in parent:
+        if current == candidate:
+            return True
+        current = parent[current]
+    return current == candidate
+
+
+def _repair_recreation_violations(
+    instance: ProblemInstance, plan: StoragePlan, theta: float
+) -> None:
+    """Materialize any version whose realized recreation cost exceeds θ.
+
+    The re-parenting step keeps per-version labels within θ but, because a
+    parent's recreation cost can later *decrease* without propagating to the
+    labels of its descendants, the realized costs can only be lower — except
+    in rare tie situations caused by floating-point noise.  This repair pass
+    guarantees the returned plan honors the bound exactly.
+    """
+    recreation = plan.recreation_costs(instance)
+    changed = False
+    for vid, cost in recreation.items():
+        if cost > theta * (1 + 1e-9) + 1e-6:
+            plan.materialize(vid)
+            changed = True
+    if changed:
+        # Materializing a version only lowers its subtree's costs, but repeat
+        # once more in case several chained violations existed.
+        recreation = plan.recreation_costs(instance)
+        for vid, cost in recreation.items():
+            if cost > theta * (1 + 1e-9) + 1e-6:
+                plan.materialize(vid)
+
+
+def solve_problem_4(
+    instance: ProblemInstance,
+    storage_budget: float,
+    *,
+    iterations: int = 40,
+) -> StoragePlan:
+    """Problem 4: minimize ``max R_i`` subject to ``C ≤ β``.
+
+    The decision versions of Problems 4 and 6 coincide, so this routine
+    bisects on the recreation threshold θ and keeps the smallest θ whose
+    Problem 6 solution fits within the storage budget.
+    """
+    low = minimum_feasible_threshold(instance)
+    # A generous upper bound: recreate everything through the storage-optimal
+    # tree (θ can never usefully exceed the total recreation cost of a chain
+    # through every version).
+    high = max(
+        low,
+        float(
+            sum(
+                instance.materialization_recreation(vid)
+                for vid in instance.version_ids
+            )
+        ),
+    )
+
+    best_plan: StoragePlan | None = None
+    plan_low = modified_prim(instance, low, strict=False)
+    if plan_low.storage_cost(instance) <= storage_budget * (1 + 1e-12) + 1e-9:
+        return plan_low
+
+    plan_high = modified_prim(instance, high, strict=False)
+    if plan_high.storage_cost(instance) > storage_budget * (1 + 1e-12) + 1e-9:
+        raise InfeasibleProblemError(
+            f"storage budget {storage_budget:g} is below what modified Prim can "
+            f"achieve even with an unbounded recreation threshold "
+            f"({plan_high.storage_cost(instance):g})"
+        )
+    best_plan = plan_high
+
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        plan = modified_prim(instance, mid, strict=False)
+        if plan.storage_cost(instance) <= storage_budget * (1 + 1e-12) + 1e-9:
+            best_plan = plan
+            high = mid
+        else:
+            low = mid
+    assert best_plan is not None
+    return best_plan

@@ -1,0 +1,115 @@
+"""Shortest-path trees (Problem 2).
+
+Lemma 3 of the paper: the optimal storage graph for Problem 2 (minimize the
+recreation cost of every version simultaneously) is the shortest-path tree
+of the augmented graph rooted at the dummy vertex ``V0``, using the Φ
+weights.  Because every version has a direct edge from ``V0`` (materialize
+it), the SPT always exists; in practice it materializes a version unless a
+chain of deltas is genuinely faster to replay than reading the full version,
+which only happens when Φ is not proportional to Δ.
+
+Dijkstra's algorithm is implemented from scratch on top of the addressable
+priority queue so it can also be reused by LMG and LAST (both need the SPT
+as an ingredient).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping
+
+from ..core.instance import ROOT, ProblemInstance
+from ..core.storage_plan import StoragePlan
+from ..exceptions import SolverError
+from .priority_queue import AddressablePriorityQueue
+
+__all__ = [
+    "dijkstra",
+    "shortest_path_tree",
+    "shortest_path_plan",
+    "shortest_path_distances",
+]
+
+Node = Hashable
+Adjacency = Mapping[Node, Mapping[Node, float]]
+
+
+def dijkstra(
+    adjacency: Adjacency, source: Node
+) -> tuple[dict[Node, float], dict[Node, Node]]:
+    """Single-source shortest paths on a non-negatively weighted digraph.
+
+    Returns ``(distances, parents)``; unreachable nodes are absent from both
+    mappings.  ``adjacency[u][v]`` is the weight of the directed edge
+    ``u -> v``.
+    """
+    distances: dict[Node, float] = {source: 0.0}
+    parents: dict[Node, Node] = {}
+    settled: set[Node] = set()
+    queue: AddressablePriorityQueue[Node] = AddressablePriorityQueue()
+    queue.push(source, 0.0)
+    while queue:
+        node, dist = queue.pop()
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor, weight in adjacency.get(node, {}).items():
+            if weight < 0:
+                raise SolverError("Dijkstra requires non-negative edge weights")
+            candidate = float(dist) + float(weight)
+            if candidate < distances.get(neighbor, math.inf):
+                distances[neighbor] = candidate
+                parents[neighbor] = node
+                queue.push(neighbor, candidate)
+    return distances, parents
+
+
+def _recreation_adjacency(instance: ProblemInstance) -> dict[Node, dict[Node, float]]:
+    """Adjacency of the augmented graph weighted by recreation costs (Φ)."""
+    adjacency: dict[Node, dict[Node, float]] = {ROOT: {}}
+    for vid in instance.version_ids:
+        adjacency[ROOT][vid] = instance.materialization_recreation(vid)
+        adjacency.setdefault(vid, {})
+    for (source, target), recreation in instance.cost_model.phi.off_diagonal_items():
+        if source not in instance or target not in instance:
+            continue
+        if not instance.cost_model.has_delta(source, target):
+            continue
+        row = adjacency.setdefault(source, {})
+        if target not in row or recreation < row[target]:
+            row[target] = recreation
+    return adjacency
+
+
+def shortest_path_distances(instance: ProblemInstance) -> dict[Node, float]:
+    """Minimum possible recreation cost of every version (ignores storage)."""
+    adjacency = _recreation_adjacency(instance)
+    distances, _ = dijkstra(adjacency, ROOT)
+    distances.pop(ROOT, None)
+    return distances
+
+
+def shortest_path_tree(instance: ProblemInstance) -> dict[Node, Node]:
+    """Parent map of the shortest-path tree rooted at the dummy vertex."""
+    adjacency = _recreation_adjacency(instance)
+    distances, parents = dijkstra(adjacency, ROOT)
+    missing = [vid for vid in instance.version_ids if vid not in distances]
+    if missing:
+        raise SolverError(
+            f"versions unreachable in the recreation graph: {missing[:5]!r}"
+        )
+    return parents
+
+
+def shortest_path_plan(instance: ProblemInstance) -> StoragePlan:
+    """Solve Problem 2: minimize every version's recreation cost.
+
+    The returned plan is the Φ-weighted shortest-path tree; each version's
+    recreation cost equals its true lower bound, at the price of a total
+    storage cost that is usually close to materializing everything.
+    """
+    parents = shortest_path_tree(instance)
+    plan = StoragePlan()
+    for child, parent in parents.items():
+        plan.assign(child, parent)
+    return plan

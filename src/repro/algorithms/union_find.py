@@ -1,0 +1,71 @@
+"""Disjoint-set (union-find) structure with union by rank and path compression.
+
+Used by Kruskal's minimum-spanning-tree construction and by the cycle
+detection inside Edmonds' arborescence algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+__all__ = ["UnionFind"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Classic disjoint-set forest over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def find(self, item: T) -> T:
+        """Return the representative of the set containing ``item``."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def connected(self, a: T, b: T) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the sets of ``a`` and ``b``; return False if already merged."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        rank_a, rank_b = self._rank[root_a], self._rank[root_b]
+        if rank_a < rank_b:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if rank_a == rank_b:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True

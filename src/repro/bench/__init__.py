@@ -1,0 +1,34 @@
+"""Benchmark harness: sweeps, reference costs and per-figure experiment drivers.
+
+The :mod:`~repro.bench.experiments` module has one driver per table/figure of
+the paper's evaluation (see the E1–E8 index in DESIGN.md); the
+:mod:`~repro.bench.harness` module holds the shared sweep and formatting
+machinery.
+"""
+
+from . import experiments, export
+from .harness import (
+    SweepPoint,
+    SweepSeries,
+    budget_grid,
+    format_table,
+    reference_costs,
+    sweep_gith,
+    sweep_last,
+    sweep_lmg,
+    sweep_mp,
+)
+
+__all__ = [
+    "experiments",
+    "export",
+    "SweepPoint",
+    "SweepSeries",
+    "budget_grid",
+    "format_table",
+    "reference_costs",
+    "sweep_gith",
+    "sweep_last",
+    "sweep_lmg",
+    "sweep_mp",
+]

@@ -1,0 +1,73 @@
+"""Export helpers: persist experiment series as CSV/JSON.
+
+The benchmark targets print their series; this module lets users save them
+for plotting (the paper's figures are line plots over exactly these rows).
+Only the standard library is used so exports work in any environment.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Mapping
+
+from .harness import SweepSeries
+
+__all__ = ["series_to_rows", "write_csv", "write_json", "figure_to_dict"]
+
+_HEADERS = ["algorithm", "parameter", "storage_cost", "sum_recreation", "max_recreation", "weighted_recreation"]
+
+
+def series_to_rows(series: SweepSeries) -> list[list[float | str]]:
+    """Flatten a sweep series into plottable rows."""
+    return [
+        [
+            series.algorithm,
+            point.parameter,
+            point.storage_cost,
+            point.sum_recreation,
+            point.max_recreation,
+            point.weighted_recreation,
+        ]
+        for point in series.points
+    ]
+
+
+def figure_to_dict(result: Mapping[str, object]) -> dict[str, object]:
+    """Convert an experiment-driver result into a JSON-serializable dict.
+
+    Sweep series become lists of point dictionaries; reference-cost mappings
+    and other plain values pass through unchanged.
+    """
+    payload: dict[str, object] = {}
+    for key, value in result.items():
+        if isinstance(value, SweepSeries):
+            payload[key] = [
+                {
+                    "parameter": point.parameter,
+                    "storage_cost": point.storage_cost,
+                    "sum_recreation": point.sum_recreation,
+                    "max_recreation": point.max_recreation,
+                    "weighted_recreation": point.weighted_recreation,
+                }
+                for point in value.points
+            ]
+        else:
+            payload[key] = value
+    return payload
+
+
+def write_csv(result: Mapping[str, object], path: str) -> None:
+    """Write every sweep series in ``result`` to one CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADERS)
+        for value in result.values():
+            if isinstance(value, SweepSeries):
+                writer.writerows(series_to_rows(value))
+
+
+def write_json(result: Mapping[str, object], path: str) -> None:
+    """Write the full experiment result (series + references) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(figure_to_dict(result), handle, indent=2, sort_keys=True)

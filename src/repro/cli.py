@@ -1,0 +1,376 @@
+"""Command-line interface for the prototype version manager.
+
+The paper's prototype exposes "a subset of Git/SVN-like interface for
+dataset versioning" through a thin client.  This module provides the same
+surface as a console entry point operating on a directory-backed
+repository::
+
+    python -m repro init        myrepo
+    python -m repro commit      myrepo data.csv -m "nightly export"
+    python -m repro log         myrepo
+    python -m repro branch      myrepo experiments
+    python -m repro checkout    myrepo v3 -o restored.csv
+    python -m repro stats       myrepo
+    python -m repro repack      myrepo --problem 3 --threshold-factor 1.5
+    python -m repro solve       myrepo --problem 6 --threshold 2e6
+
+The repository state (version graph, branch heads and the object-id mapping)
+is persisted as JSON next to the object store, so successive invocations
+operate on the same history.  Payloads are treated as line-oriented text
+files, matching the line-diff encoder the prototype uses by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from .algorithms.mst import minimum_storage_plan
+from .bench.harness import format_table
+from .core.problems import ProblemKind, solve
+from .delta.line_diff import LineDiffEncoder
+from .exceptions import ReproError
+from .storage.repository import Repository
+
+__all__ = ["main", "build_parser", "load_repository", "save_repository"]
+
+_STATE_FILE = "repro_state.json"
+_OBJECTS_DIR = "objects"
+
+
+# --------------------------------------------------------------------- #
+# persistence of the repository metadata
+# --------------------------------------------------------------------- #
+def save_repository(repo: Repository, directory: str) -> None:
+    """Persist the repository's metadata (graph, branches, object ids)."""
+    state = {
+        "counter": repo._counter,
+        "current_branch": repo.current_branch,
+        "branches": {
+            name: head for name, head in repo.branches.items()
+        },
+        "versions": [
+            {
+                "id": version.version_id,
+                "size": version.size,
+                "name": version.name,
+                "parents": list(version.parents),
+                "created_at": version.created_at,
+                "object": repo.object_id_of(version.version_id),
+            }
+            for version in repo.graph.versions
+        ],
+    }
+    with open(os.path.join(directory, _STATE_FILE), "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2)
+
+
+def load_repository(directory: str) -> Repository:
+    """Load a directory-backed repository previously created by the CLI."""
+    state_path = os.path.join(directory, _STATE_FILE)
+    if not os.path.exists(state_path):
+        raise ReproError(
+            f"{directory!r} is not a repro repository (missing {_STATE_FILE}); "
+            "run 'repro init' first"
+        )
+    with open(state_path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+
+    repo = Repository(
+        encoder=LineDiffEncoder(),
+        directory=os.path.join(directory, _OBJECTS_DIR),
+        delta_against_parent=True,
+    )
+    # Rebuild the version graph and object mapping without re-encoding.
+    from .core.version import Version
+
+    for entry in state["versions"]:
+        repo.graph.add_version(
+            Version(
+                version_id=entry["id"],
+                size=entry["size"],
+                name=entry["name"],
+                parents=tuple(entry["parents"]),
+                created_at=entry["created_at"],
+            )
+        )
+        repo._set_object(entry["id"], entry["object"])
+    repo._branches = dict(state["branches"])
+    repo._current_branch = state["current_branch"]
+    repo._counter = state["counter"]
+    return repo
+
+
+def _init_repository(directory: str) -> Repository:
+    os.makedirs(directory, exist_ok=True)
+    repo = Repository(
+        encoder=LineDiffEncoder(), directory=os.path.join(directory, _OBJECTS_DIR)
+    )
+    save_repository(repo, directory)
+    return repo
+
+
+# --------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------- #
+def _cmd_init(args: argparse.Namespace) -> int:
+    _init_repository(args.repository)
+    print(f"initialized empty repro repository in {args.repository}")
+    return 0
+
+
+def _cmd_commit(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        payload = handle.read().splitlines()
+    if args.branch:
+        repo.switch(args.branch)
+    parents = args.parent if args.parent else None
+    version_id = repo.commit(payload, parents=parents, message=args.message or "")
+    save_repository(repo, args.repository)
+    print(f"committed {version_id} on branch {repo.current_branch}")
+    return 0
+
+
+def _cmd_checkout(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    result = repo.checkout(args.version)
+    text = "\n".join(result.payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"checked out {args.version} to {args.output} "
+            f"(chain length {result.chain_length}, "
+            f"recreation cost {result.recreation_cost:.0f})"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    rows = [
+        [version.version_id, version.name or "", len(version.parents), f"{version.size:.0f}"]
+        for version in repo.log(args.version)
+    ]
+    print(format_table(["version", "message", "parents", "size"], rows))
+    return 0
+
+
+def _cmd_branch(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    if args.name:
+        repo.branch(args.name, at=args.at)
+        save_repository(repo, args.repository)
+        print(f"created branch {args.name}")
+    else:
+        rows = [
+            [("*" if name == repo.current_branch else " ") + name, head or "(empty)"]
+            for name, head in repo.branches.items()
+        ]
+        print(format_table(["branch", "head"], rows))
+    return 0
+
+
+def _cmd_switch(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    repo.switch(args.name)
+    save_repository(repo, args.repository)
+    print(f"switched to branch {args.name}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        payload = handle.read().splitlines()
+    version_id = repo.merge(args.other, payload, message=args.message or "merge")
+    save_repository(repo, args.repository)
+    print(f"recorded merge {version_id}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    naive = sum(v.size for v in repo.graph.versions)
+    rows = [
+        ["versions", len(repo)],
+        ["branches", len(repo.branches)],
+        ["objects", len(repo.store)],
+        ["storage cost", f"{repo.total_storage_cost():.0f}"],
+        ["store-everything cost", f"{naive:.0f}"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    instance = repo.problem_instance(hop_limit=args.hop_limit)
+    threshold = _resolve_threshold(args, instance)
+    result = solve(instance, args.problem, threshold=threshold)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["problem", args.problem],
+                ["algorithm", result.algorithm],
+                ["storage cost", f"{result.metrics.storage_cost:.0f}"],
+                ["sum recreation", f"{result.metrics.sum_recreation:.0f}"],
+                ["max recreation", f"{result.metrics.max_recreation:.0f}"],
+                ["materialized versions", result.metrics.num_materialized],
+            ],
+        )
+    )
+    if args.plan_output:
+        with open(args.plan_output, "w", encoding="utf-8") as handle:
+            handle.write(result.plan.to_json())
+        print(f"wrote plan to {args.plan_output}")
+    return 0
+
+
+def _cmd_repack(args: argparse.Namespace) -> int:
+    repo = load_repository(args.repository)
+    instance = repo.problem_instance(hop_limit=args.hop_limit)
+    threshold = _resolve_threshold(args, instance)
+    result = solve(instance, args.problem, threshold=threshold)
+    report = repo.repack(result.plan)
+    save_repository(repo, args.repository)
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, f"{value:.1f}"] for key, value in report.items()],
+        )
+    )
+    return 0
+
+
+def _resolve_threshold(args: argparse.Namespace, instance) -> float | None:
+    """Turn --threshold / --threshold-factor into an absolute bound."""
+    problem = ProblemKind(args.problem)
+    if problem in (ProblemKind.MINIMIZE_STORAGE, ProblemKind.MINIMIZE_RECREATION):
+        return None
+    if getattr(args, "threshold", None) is not None:
+        return float(args.threshold)
+    factor = getattr(args, "threshold_factor", None)
+    if factor is None:
+        factor = 1.5
+    if problem in (ProblemKind.MINSUM_RECREATION, ProblemKind.MINMAX_RECREATION):
+        reference = minimum_storage_plan(instance).storage_cost(instance)
+    elif problem is ProblemKind.MIN_STORAGE_SUM_RECREATION:
+        reference = sum(
+            instance.materialization_recreation(vid) for vid in instance.version_ids
+        )
+    else:
+        reference = max(
+            instance.materialization_recreation(vid) for vid in instance.version_ids
+        )
+    return float(factor) * reference
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dataset versioning prototype (VLDB 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="create a new repository")
+    init.add_argument("repository")
+    init.set_defaults(handler=_cmd_init)
+
+    commit = sub.add_parser("commit", help="commit a text/CSV file as a new version")
+    commit.add_argument("repository")
+    commit.add_argument("file")
+    commit.add_argument("-m", "--message", default="")
+    commit.add_argument("--branch", default=None, help="commit on this branch")
+    commit.add_argument(
+        "--parent", action="append", default=None, help="explicit parent version id"
+    )
+    commit.set_defaults(handler=_cmd_commit)
+
+    checkout = sub.add_parser("checkout", help="reconstruct a version")
+    checkout.add_argument("repository")
+    checkout.add_argument("version")
+    checkout.add_argument("-o", "--output", default=None)
+    checkout.set_defaults(handler=_cmd_checkout)
+
+    log = sub.add_parser("log", help="show the history of a version/branch head")
+    log.add_argument("repository")
+    log.add_argument("version", nargs="?", default=None)
+    log.set_defaults(handler=_cmd_log)
+
+    branch = sub.add_parser("branch", help="list or create branches")
+    branch.add_argument("repository")
+    branch.add_argument("name", nargs="?", default=None)
+    branch.add_argument("--at", default=None, help="branch from this version")
+    branch.set_defaults(handler=_cmd_branch)
+
+    switch = sub.add_parser("switch", help="make another branch the current one")
+    switch.add_argument("repository")
+    switch.add_argument("name")
+    switch.set_defaults(handler=_cmd_switch)
+
+    merge = sub.add_parser("merge", help="record a user-performed merge")
+    merge.add_argument("repository")
+    merge.add_argument("other", help="the other parent's version id")
+    merge.add_argument("file", help="file containing the merged payload")
+    merge.add_argument("-m", "--message", default="merge")
+    merge.set_defaults(handler=_cmd_merge)
+
+    stats = sub.add_parser("stats", help="show storage statistics")
+    stats.add_argument("repository")
+    stats.set_defaults(handler=_cmd_stats)
+
+    for name, handler in (("solve", _cmd_solve), ("repack", _cmd_repack)):
+        command = sub.add_parser(
+            name,
+            help=(
+                "compute an optimized storage plan"
+                if name == "solve"
+                else "re-encode the repository according to an optimized plan"
+            ),
+        )
+        command.add_argument("repository")
+        command.add_argument("--problem", type=int, default=3, choices=range(1, 7))
+        command.add_argument("--threshold", type=float, default=None)
+        command.add_argument(
+            "--threshold-factor",
+            type=float,
+            default=None,
+            help="threshold as a multiple of the natural reference "
+            "(MCA storage for problems 3/4, total/max recreation for 5/6)",
+        )
+        command.add_argument("--hop-limit", type=int, default=2)
+        if name == "solve":
+            command.add_argument("--plan-output", default=None)
+        command.set_defaults(handler=handler)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Core data model of the dataset-versioning reproduction.
+
+This subpackage contains everything needed to *describe* a versioning
+instance and a storage decision:
+
+* :class:`~repro.core.version.Version` and
+  :class:`~repro.core.version_graph.VersionGraph` — the derivation history;
+* :class:`~repro.core.matrices.CostMatrix` and
+  :class:`~repro.core.matrices.CostModel` — the Δ/Φ matrices of the paper;
+* :class:`~repro.core.instance.ProblemInstance` — the augmented graph with
+  the dummy root ``V0``;
+* :class:`~repro.core.storage_plan.StoragePlan` — a storage graph (spanning
+  tree) plus its cost metrics;
+* :func:`~repro.core.problems.solve` — the problem dispatcher for the six
+  optimization problems of Table 1.
+"""
+
+from .instance import ROOT, Edge, ProblemInstance
+from .matrices import CostMatrix, CostModel
+from .objectives import (
+    Objective,
+    max_recreation_cost,
+    sum_recreation_cost,
+    total_storage_cost,
+    weighted_recreation_cost,
+)
+from .problems import PROBLEMS, Algorithm, ProblemKind, ProblemSpec, Scenario, SolveResult, solve
+from .storage_plan import PlanMetrics, StoragePlan
+from .version import Version, VersionID
+from .version_graph import VersionGraph
+
+__all__ = [
+    "ROOT",
+    "Edge",
+    "ProblemInstance",
+    "CostMatrix",
+    "CostModel",
+    "Objective",
+    "total_storage_cost",
+    "sum_recreation_cost",
+    "max_recreation_cost",
+    "weighted_recreation_cost",
+    "PROBLEMS",
+    "Algorithm",
+    "ProblemKind",
+    "ProblemSpec",
+    "Scenario",
+    "SolveResult",
+    "solve",
+    "PlanMetrics",
+    "StoragePlan",
+    "Version",
+    "VersionID",
+    "VersionGraph",
+]

@@ -1,0 +1,225 @@
+"""Canonical evaluation scenarios: DC, LC, BF and LF (scaled to laptop size).
+
+Figure 12 of the paper summarizes four workloads:
+
+* **DC** (Densely Connected) — a flat synthetic history with many short
+  branches; deltas revealed within a 10-hop neighborhood;
+* **LC** (Linear Chain) — a mostly linear synthetic history with few long
+  branches; deltas revealed within a 25-hop neighborhood;
+* **BF** (Bootstrap Forks) — 986 forks of Twitter Bootstrap, all-pairs
+  deltas under a 100 KB size-difference threshold;
+* **LF** (Linux Forks) — 100 forks of Linux, all-pairs deltas under a 10 MB
+  threshold.
+
+This module builds scaled-down equivalents (hundreds of versions instead of
+100k; kilobyte-scale versions instead of hundreds of megabytes) with the
+same structural signatures, wrapped in a :class:`ScenarioDataset` that also
+precomputes the reference MCA/SPT plans used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..algorithms.mst import minimum_storage_plan
+from ..algorithms.shortest_path import shortest_path_plan
+from ..core.instance import ProblemInstance
+from ..core.matrices import CostModel
+from ..core.storage_plan import StoragePlan
+from ..core.version_graph import VersionGraph
+from .cost_gen import SyntheticCostConfig, synthetic_costs
+from .forks_gen import ForkDatasetConfig, generate_fork_dataset
+from .graph_gen import flat_history_graph, linear_chain_graph
+
+__all__ = [
+    "ScenarioDataset",
+    "densely_connected",
+    "linear_chain",
+    "bootstrap_forks",
+    "linux_forks",
+    "all_scenarios",
+]
+
+
+@dataclass
+class ScenarioDataset:
+    """A named evaluation dataset plus its reference plans and costs."""
+
+    name: str
+    graph: VersionGraph
+    cost_model: CostModel
+    description: str = ""
+
+    @cached_property
+    def instance(self) -> ProblemInstance:
+        """The problem instance (augmented graph) for this dataset."""
+        return ProblemInstance.from_version_graph(self.graph, self.cost_model)
+
+    @cached_property
+    def mca_plan(self) -> StoragePlan:
+        """The storage-optimal plan (MST / minimum-cost arborescence)."""
+        return minimum_storage_plan(self.instance)
+
+    @cached_property
+    def spt_plan(self) -> StoragePlan:
+        """The recreation-optimal plan (shortest-path tree)."""
+        return shortest_path_plan(self.instance)
+
+    @property
+    def mca_storage_cost(self) -> float:
+        """Minimum achievable total storage cost."""
+        return self.mca_plan.storage_cost(self.instance)
+
+    @property
+    def spt_storage_cost(self) -> float:
+        """Storage cost of the recreation-optimal plan."""
+        return self.spt_plan.storage_cost(self.instance)
+
+    def summary(self) -> dict[str, float]:
+        """The Figure-12 property rows for this dataset."""
+        instance = self.instance
+        mca_metrics = self.mca_plan.evaluate(instance)
+        spt_metrics = self.spt_plan.evaluate(instance)
+        base = instance.summary()
+        base.update(
+            {
+                "mca_storage_cost": mca_metrics.storage_cost,
+                "mca_sum_recreation": mca_metrics.sum_recreation,
+                "mca_max_recreation": mca_metrics.max_recreation,
+                "spt_storage_cost": spt_metrics.storage_cost,
+                "spt_sum_recreation": spt_metrics.sum_recreation,
+                "spt_max_recreation": spt_metrics.max_recreation,
+            }
+        )
+        return base
+
+    def normalized_delta_sizes(self) -> list[float]:
+        """Delta sizes divided by the average version size (Figure 12, right)."""
+        summary = self.instance.summary()
+        average = summary["average_version_size"] or 1.0
+        return [
+            storage / average
+            for (_, _), storage in self.cost_model.delta.off_diagonal_items()
+        ]
+
+
+def densely_connected(
+    num_versions: int = 300,
+    *,
+    seed: int = 0,
+    directed: bool = True,
+    proportional: bool = False,
+    hop_limit: int = 4,
+) -> ScenarioDataset:
+    """The DC workload: a flat, heavily branched history with many deltas."""
+    graph = flat_history_graph(num_versions, seed=seed)
+    config = SyntheticCostConfig(
+        base_size_mean=10_000.0,
+        delta_fraction_mean=0.03,
+        distance_growth=0.5,
+        proportional=proportional,
+        directed=directed,
+        seed=seed + 1,
+    )
+    model = synthetic_costs(graph, config, hop_limit=hop_limit)
+    return ScenarioDataset(
+        name="DC",
+        graph=graph,
+        cost_model=model,
+        description="Densely connected synthetic history (flat, many branches)",
+    )
+
+
+def linear_chain(
+    num_versions: int = 300,
+    *,
+    seed: int = 1,
+    directed: bool = True,
+    proportional: bool = False,
+    hop_limit: int = 8,
+) -> ScenarioDataset:
+    """The LC workload: a mostly linear history with deltas along the chain."""
+    graph = linear_chain_graph(num_versions, seed=seed)
+    config = SyntheticCostConfig(
+        base_size_mean=10_000.0,
+        delta_fraction_mean=0.05,
+        distance_growth=0.35,
+        proportional=proportional,
+        directed=directed,
+        seed=seed + 1,
+    )
+    model = synthetic_costs(graph, config, hop_limit=hop_limit)
+    return ScenarioDataset(
+        name="LC",
+        graph=graph,
+        cost_model=model,
+        description="Mostly linear synthetic history (long chains, few branches)",
+    )
+
+
+def bootstrap_forks(
+    num_forks: int = 150,
+    *,
+    seed: int = 2,
+    directed: bool = True,
+) -> ScenarioDataset:
+    """The BF workload: many small forks of a common project (simulated)."""
+    config = ForkDatasetConfig(
+        num_forks=num_forks,
+        upstream_length=30,
+        base_size=4_000.0,
+        divergence_fraction=0.01,
+        pair_threshold_fraction=0.05,
+        directed=directed,
+        seed=seed,
+    )
+    dataset = generate_fork_dataset(config)
+    return ScenarioDataset(
+        name="BF",
+        graph=dataset.graph,
+        cost_model=dataset.cost_model,
+        description="Bootstrap-forks-like collection (many small near-duplicate forks)",
+    )
+
+
+def linux_forks(
+    num_forks: int = 60,
+    *,
+    seed: int = 3,
+    directed: bool = True,
+) -> ScenarioDataset:
+    """The LF workload: fewer, larger forks of a common project (simulated)."""
+    config = ForkDatasetConfig(
+        num_forks=num_forks,
+        upstream_length=15,
+        base_size=400_000.0,
+        divergence_fraction=0.005,
+        pair_threshold_fraction=0.03,
+        directed=directed,
+        seed=seed,
+    )
+    dataset = generate_fork_dataset(config)
+    return ScenarioDataset(
+        name="LF",
+        graph=dataset.graph,
+        cost_model=dataset.cost_model,
+        description="Linux-forks-like collection (fewer, larger near-duplicate forks)",
+    )
+
+
+def all_scenarios(
+    *, scale: float = 1.0, directed: bool = True, seed: int = 0
+) -> dict[str, ScenarioDataset]:
+    """All four canonical scenarios, optionally scaled up or down.
+
+    ``scale`` multiplies the number of versions in every dataset; the
+    benchmark harness uses small scales for smoke runs and larger ones for
+    full figure regeneration.
+    """
+    return {
+        "DC": densely_connected(max(20, int(300 * scale)), seed=seed, directed=directed),
+        "LC": linear_chain(max(20, int(300 * scale)), seed=seed + 1, directed=directed),
+        "BF": bootstrap_forks(max(15, int(150 * scale)), seed=seed + 2, directed=directed),
+        "LF": linux_forks(max(10, int(60 * scale)), seed=seed + 3, directed=directed),
+    }

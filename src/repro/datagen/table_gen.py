@@ -1,0 +1,194 @@
+"""Tabular payload generator driven by the paper's edit-command language.
+
+The paper's synthetic suite, after generating a version graph, "generate[s]
+the appropriate versions and compute[s] the deltas": each edge of the
+version graph is annotated with edit commands (add/delete consecutive rows,
+add/remove a column, modify rows/columns) that produce the child version's
+table from the parent's.  This module does the same thing on laptop-scale
+tables, so the resulting instances have *real* payloads whose deltas can be
+computed by any encoder in :mod:`repro.delta`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.version import VersionID
+from ..core.version_graph import VersionGraph
+from ..delta.command_delta import EditCommand, apply_commands
+
+__all__ = ["TableDatasetConfig", "TableDataset", "generate_tables"]
+
+Table = list[list[str]]
+
+
+@dataclass(frozen=True)
+class TableDatasetConfig:
+    """Parameters controlling payload generation.
+
+    ``command_kinds`` restricts which of the paper's six edit commands the
+    generator may draw; row-only workloads (``add_rows``, ``delete_rows``,
+    ``modify_rows``) produce the small line-based deltas typical of the
+    paper's CSV experiments, while column operations rewrite every line and
+    stress the cell-level encoder instead.
+    """
+
+    base_rows: int = 200
+    base_columns: int = 6
+    max_edit_commands: int = 4
+    max_rows_per_edit: int = 20
+    cell_width: int = 8
+    command_kinds: tuple[str, ...] = (
+        "add_rows",
+        "delete_rows",
+        "add_column",
+        "remove_column",
+        "modify_rows",
+        "modify_column",
+    )
+    seed: int = 0
+
+
+@dataclass
+class TableDataset:
+    """The generated payloads plus the edit commands used on every edge."""
+
+    graph: VersionGraph
+    tables: dict[VersionID, Table]
+    edge_commands: dict[tuple[VersionID, VersionID], tuple[EditCommand, ...]] = field(
+        default_factory=dict
+    )
+
+    def table(self, version_id: VersionID) -> Table:
+        """Payload of ``version_id``."""
+        return self.tables[version_id]
+
+    def as_text(self, version_id: VersionID) -> list[str]:
+        """CSV-style line rendering of a version (for line-diff encoders)."""
+        return [",".join(row) for row in self.tables[version_id]]
+
+
+def _random_cell(rng: random.Random, width: int) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for _ in range(width))
+
+
+def _random_row(rng: random.Random, columns: int, width: int) -> list[str]:
+    return [_random_cell(rng, width) for _ in range(columns)]
+
+
+def _random_commands(
+    rng: random.Random, table: Table, config: TableDatasetConfig
+) -> tuple[EditCommand, ...]:
+    """Draw a random edit script against ``table``."""
+    num_rows = len(table)
+    num_columns = len(table[0]) if num_rows else config.base_columns
+    commands: list[EditCommand] = []
+    for _ in range(rng.randint(1, config.max_edit_commands)):
+        kind = rng.choice(list(config.command_kinds))
+        if kind == "add_rows":
+            count = rng.randint(1, config.max_rows_per_edit)
+            rows = tuple(
+                tuple(_random_row(rng, num_columns, config.cell_width)) for _ in range(count)
+            )
+            commands.append(
+                EditCommand(kind=kind, position=rng.randint(0, num_rows), payload=rows)
+            )
+            num_rows += count
+        elif kind == "delete_rows":
+            if num_rows <= config.max_rows_per_edit:
+                continue
+            count = rng.randint(1, config.max_rows_per_edit)
+            position = rng.randint(0, max(0, num_rows - count))
+            commands.append(EditCommand(kind=kind, position=position, count=count))
+            num_rows -= count
+        elif kind == "add_column":
+            values = tuple(_random_cell(rng, config.cell_width) for _ in range(5))
+            commands.append(EditCommand(kind=kind, payload=values))
+            num_columns += 1
+        elif kind == "remove_column":
+            if num_columns <= 2:
+                continue
+            commands.append(EditCommand(kind=kind, column=rng.randint(0, num_columns - 1)))
+            num_columns -= 1
+        elif kind == "modify_rows":
+            count = rng.randint(1, config.max_rows_per_edit)
+            position = rng.randint(0, max(0, num_rows - 1))
+            commands.append(
+                EditCommand(
+                    kind=kind,
+                    position=position,
+                    count=count,
+                    payload=(_random_cell(rng, config.cell_width),),
+                )
+            )
+        else:  # modify_column
+            count = rng.randint(1, config.max_rows_per_edit)
+            position = rng.randint(0, max(0, num_rows - 1))
+            commands.append(
+                EditCommand(
+                    kind=kind,
+                    position=position,
+                    count=count,
+                    column=rng.randint(0, max(0, num_columns - 1)),
+                    payload=(_random_cell(rng, config.cell_width),),
+                )
+            )
+    return tuple(commands)
+
+
+def generate_tables(
+    graph: VersionGraph, config: TableDatasetConfig | None = None
+) -> TableDataset:
+    """Generate a table payload for every version of ``graph``.
+
+    Root versions get a fresh random table of ``base_rows × base_columns``
+    cells; every derived version applies a random edit script to its first
+    parent's table (merge versions additionally splice a block of rows from
+    their second parent, so merges genuinely combine content from both
+    sides).
+    """
+    config = config or TableDatasetConfig()
+    rng = random.Random(config.seed)
+    tables: dict[VersionID, Table] = {}
+    edge_commands: dict[tuple[VersionID, VersionID], tuple[EditCommand, ...]] = {}
+
+    for vid in graph.topological_order():
+        version = graph.version(vid)
+        if version.is_root:
+            tables[vid] = [
+                _random_row(rng, config.base_columns, config.cell_width)
+                for _ in range(config.base_rows)
+            ]
+            continue
+        primary = version.parents[0]
+        commands = _random_commands(rng, tables[primary], config)
+        table = apply_commands(tables[primary], commands)
+        edge_commands[(primary, vid)] = commands
+        if version.is_merge:
+            # Splice a block of rows from the secondary parent.
+            secondary = version.parents[1]
+            other = tables[secondary]
+            if other:
+                take = max(1, len(other) // 10)
+                start = rng.randint(0, max(0, len(other) - take))
+                block = [list(row) for row in other[start: start + take]]
+                merge_command = EditCommand(
+                    kind="add_rows",
+                    position=min(len(table), start),
+                    payload=tuple(tuple(row) for row in block),
+                )
+                table = apply_commands(table, (merge_command,))
+                edge_commands[(secondary, vid)] = (merge_command,)
+        tables[vid] = table
+
+    return TableDataset(graph=graph, tables=tables, edge_commands=edge_commands)
+
+
+def table_sizes(dataset: TableDataset) -> Mapping[VersionID, float]:
+    """Textual size of every version's table (used as materialization cost)."""
+    return {
+        vid: float(sum(len(cell) + 1 for row in table for cell in row))
+        for vid, table in dataset.tables.items()
+    }

@@ -1,0 +1,117 @@
+"""Cell-level deltas for tabular (relational) data.
+
+The paper lists "recording the differences at the cell level" as the natural
+delta type for tabular data.  A table here is a list of rows, each row a
+list of equal-length cells (all values are compared as strings).  The delta
+records three kinds of operations:
+
+* row insertions and deletions (by row index, full row content kept for
+  deletions so the delta is reversible);
+* cell modifications for rows present in both versions, recorded as
+  ``(row, column, old_value, new_value)``;
+* column additions/removals, expressed implicitly through per-row length
+  changes (rows are padded/truncated by the cell operations).
+
+Rows are matched positionally, which reflects the paper's "ordered CSV
+files" assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import DeltaApplicationError
+from .base import Delta, DeltaEncoder
+
+__all__ = ["CellDiffEncoder", "Table"]
+
+Row = Sequence[object]
+Table = Sequence[Row]
+
+
+def _normalize(table: Table) -> list[list[str]]:
+    return [[str(cell) for cell in row] for row in table]
+
+
+class CellDiffEncoder(DeltaEncoder[Table]):
+    """Cell-level tabular delta (positionally matched rows).
+
+    Storage cost counts the textual size of every recorded value plus a
+    small per-operation header.  Recreation cost is proportional to the
+    number of touched cells — cheaper than rewriting the full table, which
+    is what makes cell deltas attractive for wide tables with few changes.
+    """
+
+    name = "cell-diff"
+    symmetric = True
+
+    OPERATION_HEADER_COST = 6.0
+
+    def diff(self, source: Table, target: Table) -> Delta[Table]:
+        src, tgt = _normalize(source), _normalize(target)
+        operations: list[tuple] = []
+        storage = 0.0
+        common = min(len(src), len(tgt))
+        for index in range(common):
+            source_row, target_row = src[index], tgt[index]
+            width = max(len(source_row), len(target_row))
+            for column in range(width):
+                old = source_row[column] if column < len(source_row) else None
+                new = target_row[column] if column < len(target_row) else None
+                if old != new:
+                    operations.append(("cell", index, column, old, new))
+                    storage += self.OPERATION_HEADER_COST
+                    storage += len(str(old)) if old is not None else 0
+                    storage += len(str(new)) if new is not None else 0
+        for index in range(common, len(src)):
+            operations.append(("delete_row", index, tuple(src[index])))
+            storage += self.OPERATION_HEADER_COST + sum(len(c) + 1 for c in src[index])
+        for index in range(common, len(tgt)):
+            operations.append(("insert_row", index, tuple(tgt[index])))
+            storage += self.OPERATION_HEADER_COST + sum(len(c) + 1 for c in tgt[index])
+        recreation = float(len(operations)) * 2.0 + 0.05 * sum(
+            len(c) + 1 for row in tgt for c in row
+        )
+        return Delta(
+            operations=tuple(operations),
+            storage_cost=float(storage),
+            recreation_cost=float(recreation),
+            symmetric=True,
+            encoder_name=self.name,
+            metadata={"num_operations": len(operations)},
+        )
+
+    def apply(self, source: Table, delta: Delta[Table]) -> list[list[str]]:
+        self._check_encoder(delta)
+        table = [list(row) for row in _normalize(source)]
+        deletions: list[int] = []
+        for operation in delta.operations:
+            kind = operation[0]
+            if kind == "cell":
+                _, row_index, column, _old, new = operation
+                if row_index >= len(table):
+                    raise DeltaApplicationError(
+                        f"cell delta references missing row {row_index}"
+                    )
+                row = table[row_index]
+                if new is None:
+                    # Column removed from this row.
+                    if column < len(row):
+                        del row[column:]
+                else:
+                    while len(row) <= column:
+                        row.append("")
+                    row[column] = new
+            elif kind == "delete_row":
+                deletions.append(operation[1])
+            elif kind == "insert_row":
+                _, row_index, cells = operation
+                while len(table) <= row_index:
+                    table.append([])
+                table[row_index] = list(cells)
+            else:  # pragma: no cover - defensive
+                raise DeltaApplicationError(f"unknown cell-diff operation {kind!r}")
+        for row_index in sorted(deletions, reverse=True):
+            if row_index < len(table):
+                del table[row_index]
+        return table

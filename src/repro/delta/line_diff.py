@@ -1,0 +1,261 @@
+"""UNIX-style line diffs.
+
+The most common differencing mechanism in the paper's experiments: the
+synthetic DC/LC datasets store ordered CSV files and "use deltas based on
+UNIX-style diffs".  The encoder below computes a longest-common-subsequence
+alignment between the two line sequences (implemented from scratch with the
+standard O(n·m) dynamic program plus a prefix/suffix trim that makes it
+effectively linear for the near-identical versions typical of dataset
+versioning) and emits delete/insert hunks.
+
+Two variants are provided:
+
+* :class:`LineDiffEncoder` — a *directed* (one-way) delta: deletions only
+  record line numbers, so the reverse transformation cannot be recovered.
+* :class:`TwoWayLineDiffEncoder` — an *undirected* (two-way) delta that also
+  records the deleted text, so the same object can be applied in either
+  direction (the paper's symmetric Δ case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import DeltaApplicationError
+from .base import Delta, DeltaEncoder
+
+__all__ = ["LineDiffEncoder", "TwoWayLineDiffEncoder", "lcs_table", "line_operations"]
+
+Lines = Sequence[str]
+
+
+def _split(payload: str | Sequence[str]) -> list[str]:
+    if isinstance(payload, str):
+        return payload.splitlines()
+    return list(payload)
+
+
+def _trim_common(
+    source: list[str], target: list[str]
+) -> tuple[int, list[str], list[str]]:
+    """Strip the common prefix and suffix; return (prefix_len, mid_s, mid_t)."""
+    prefix = 0
+    while prefix < len(source) and prefix < len(target) and source[prefix] == target[prefix]:
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < len(source) - prefix
+        and suffix < len(target) - prefix
+        and source[len(source) - 1 - suffix] == target[len(target) - 1 - suffix]
+    ):
+        suffix += 1
+    return (
+        prefix,
+        source[prefix: len(source) - suffix],
+        target[prefix: len(target) - suffix],
+    )
+
+
+def lcs_table(source: Sequence[str], target: Sequence[str]) -> list[list[int]]:
+    """Longest-common-subsequence length table (classic dynamic program)."""
+    rows, cols = len(source), len(target)
+    table = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for i in range(rows - 1, -1, -1):
+        row_i = table[i]
+        row_next = table[i + 1]
+        for j in range(cols - 1, -1, -1):
+            if source[i] == target[j]:
+                row_i[j] = row_next[j + 1] + 1
+            else:
+                below = row_next[j]
+                right = row_i[j + 1]
+                row_i[j] = below if below >= right else right
+    return table
+
+
+def line_operations(
+    source: Sequence[str], target: Sequence[str]
+) -> list[tuple[str, int, tuple[str, ...]]]:
+    """Delete/insert hunks turning ``source`` into ``target``.
+
+    Each hunk is ``("delete", position, lines)`` or ``("insert", position,
+    lines)``; positions are 0-based indices into *source*, hunks are emitted
+    in non-decreasing position order and deleted lines are included so
+    callers can build two-way deltas (one-way encoders drop them).
+    """
+    source, target = list(source), list(target)
+    prefix, mid_source, mid_target = _trim_common(source, target)
+    table = lcs_table(mid_source, mid_target)
+
+    # Per-line operations first, then merge runs into hunks.
+    raw: list[tuple[str, int, str]] = []
+    i = j = 0
+    while i < len(mid_source) and j < len(mid_target):
+        if mid_source[i] == mid_target[j]:
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            raw.append(("delete", i, mid_source[i]))
+            i += 1
+        else:
+            raw.append(("insert", i, mid_target[j]))
+            j += 1
+    while i < len(mid_source):
+        raw.append(("delete", i, mid_source[i]))
+        i += 1
+    while j < len(mid_target):
+        raw.append(("insert", i, mid_target[j]))
+        j += 1
+
+    hunks: list[tuple[str, int, tuple[str, ...]]] = []
+    for kind, position, line in raw:
+        if hunks:
+            last_kind, last_position, last_lines = hunks[-1]
+            contiguous = (
+                (kind == "delete" and position == last_position + len(last_lines))
+                if last_kind == "delete"
+                else (kind == "insert" and position == last_position)
+            )
+            if kind == last_kind and contiguous:
+                hunks[-1] = (last_kind, last_position, last_lines + (line,))
+                continue
+        hunks.append((kind, position, (line,)))
+    return [(kind, position + prefix, lines) for kind, position, lines in hunks]
+
+
+def _apply_hunks(
+    lines: list[str],
+    hunks: Sequence[tuple[str, int, tuple[str, ...] | int]],
+    *,
+    verify_deleted: bool,
+) -> list[str]:
+    """Shared replay loop for one-way and two-way deltas."""
+    result: list[str] = []
+    cursor = 0
+    for kind, position, payload in hunks:
+        if position < cursor or position > len(lines):
+            raise DeltaApplicationError(
+                f"line-diff hunk at position {position} does not fit the payload"
+            )
+        result.extend(lines[cursor:position])
+        cursor = position
+        if kind == "delete":
+            count = payload if isinstance(payload, int) else len(payload)
+            if cursor + count > len(lines):
+                raise DeltaApplicationError("line-diff delete extends past the payload")
+            if verify_deleted and not isinstance(payload, int):
+                if list(lines[cursor: cursor + count]) != list(payload):
+                    raise DeltaApplicationError(
+                        "two-way line diff does not match the payload it is being applied to"
+                    )
+            cursor += count
+        elif kind == "insert":
+            result.extend(payload)  # type: ignore[arg-type]
+        else:  # pragma: no cover - defensive
+            raise DeltaApplicationError(f"unknown line-diff operation {kind!r}")
+    result.extend(lines[cursor:])
+    return result
+
+
+class LineDiffEncoder(DeltaEncoder[Lines]):
+    """One-way (directed) line diff.
+
+    The delta records, per hunk, where to delete how many source lines and
+    which new lines to insert.  Storage cost counts inserted text plus a
+    small per-hunk header; recreation cost is proportional to the amount of
+    text written while replaying, scaled by ``recreation_factor``.
+    """
+
+    name = "line-diff"
+    symmetric = False
+
+    #: Fixed cost charged per hunk header (position + count).
+    OPERATION_HEADER_COST = 8.0
+
+    def __init__(self, recreation_factor: float = 1.0) -> None:
+        self.recreation_factor = float(recreation_factor)
+
+    def diff(self, source: Lines, target: Lines) -> Delta[Lines]:
+        source_lines, target_lines = _split(source), _split(target)
+        hunks = line_operations(source_lines, target_lines)
+        encoded: list[tuple[str, int, tuple[str, ...] | int]] = []
+        inserted_text = 0.0
+        for kind, position, lines in hunks:
+            if kind == "delete":
+                encoded.append((kind, position, len(lines)))
+            else:
+                encoded.append((kind, position, lines))
+                inserted_text += sum(len(line) + 1 for line in lines)
+        storage = len(encoded) * self.OPERATION_HEADER_COST + inserted_text
+        recreation = self.recreation_factor * (
+            0.1 * sum(len(line) + 1 for line in target_lines) + inserted_text
+        )
+        return Delta(
+            operations=tuple(encoded),
+            storage_cost=float(storage),
+            recreation_cost=float(recreation),
+            symmetric=False,
+            encoder_name=self.name,
+            metadata={"num_hunks": len(encoded)},
+        )
+
+    def apply(self, source: Lines, delta: Delta[Lines]) -> list[str]:
+        self._check_encoder(delta)
+        return _apply_hunks(_split(source), delta.operations, verify_deleted=False)
+
+
+class TwoWayLineDiffEncoder(DeltaEncoder[Lines]):
+    """Two-way (undirected) line diff.
+
+    Deleted lines are stored alongside inserted ones, so the delta can be
+    applied forward (source → target) and backward (target → source).  The
+    storage cost is correspondingly larger — this is the encoder used to
+    build the paper's undirected experiment variants, where undirected
+    deltas were "obtained by concatenating the two directional deltas".
+    """
+
+    name = "line-diff-2way"
+    symmetric = True
+
+    OPERATION_HEADER_COST = 8.0
+
+    def diff(self, source: Lines, target: Lines) -> Delta[Lines]:
+        source_lines, target_lines = _split(source), _split(target)
+        hunks = line_operations(source_lines, target_lines)
+        stored_text = sum(
+            len(line) + 1 for _, _, lines in hunks for line in lines
+        )
+        inserted_text = sum(
+            len(line) + 1
+            for kind, _, lines in hunks
+            if kind == "insert"
+            for line in lines
+        )
+        storage = len(hunks) * self.OPERATION_HEADER_COST + stored_text
+        recreation = 0.1 * sum(len(line) + 1 for line in target_lines) + inserted_text
+        return Delta(
+            operations=tuple(hunks),
+            storage_cost=float(storage),
+            recreation_cost=float(recreation),
+            symmetric=True,
+            encoder_name=self.name,
+            metadata={"num_hunks": len(hunks)},
+        )
+
+    def apply(self, source: Lines, delta: Delta[Lines]) -> list[str]:
+        self._check_encoder(delta)
+        return _apply_hunks(_split(source), delta.operations, verify_deleted=True)
+
+    def apply_reverse(self, target: Lines, delta: Delta[Lines]) -> list[str]:
+        """Apply the delta backwards, recovering the source from the target."""
+        self._check_encoder(delta)
+        reversed_hunks: list[tuple[str, int, tuple[str, ...]]] = []
+        shift = 0
+        for kind, position, lines in delta.operations:
+            if kind == "delete":
+                reversed_hunks.append(("insert", position + shift, lines))
+                shift -= len(lines)
+            else:
+                reversed_hunks.append(("delete", position + shift, lines))
+                shift += len(lines)
+        return _apply_hunks(_split(target), reversed_hunks, verify_deleted=True)

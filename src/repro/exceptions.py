@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch everything originating from this package with a single
+``except`` clause while still being able to distinguish specific failure
+modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "VersionNotFoundError",
+    "DuplicateVersionError",
+    "MissingDeltaError",
+    "InvalidCostError",
+    "InvalidStoragePlanError",
+    "InfeasibleProblemError",
+    "CycleError",
+    "RepositoryError",
+    "ObjectNotFoundError",
+    "MergeError",
+    "DeltaApplicationError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class VersionNotFoundError(ReproError, KeyError):
+    """A referenced version id does not exist in the graph or repository."""
+
+    def __init__(self, version_id: object) -> None:
+        super().__init__(f"version {version_id!r} does not exist")
+        self.version_id = version_id
+
+
+class DuplicateVersionError(ReproError, ValueError):
+    """An attempt was made to register a version id that already exists."""
+
+    def __init__(self, version_id: object) -> None:
+        super().__init__(f"version {version_id!r} already exists")
+        self.version_id = version_id
+
+
+class MissingDeltaError(ReproError, KeyError):
+    """A delta between two versions was requested but never revealed."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"no delta revealed from {source!r} to {target!r}")
+        self.source = source
+        self.target = target
+
+
+class InvalidCostError(ReproError, ValueError):
+    """A storage or recreation cost is negative, NaN or otherwise invalid."""
+
+
+class InvalidStoragePlanError(ReproError, ValueError):
+    """A storage plan is not a valid spanning tree rooted at the dummy vertex."""
+
+
+class InfeasibleProblemError(ReproError, ValueError):
+    """No storage plan can satisfy the requested constraint.
+
+    For example a storage budget below the cost of the minimum spanning
+    tree / arborescence, or a maximum-recreation threshold below the cost of
+    materializing the largest version.
+    """
+
+
+class CycleError(ReproError, ValueError):
+    """A version graph that must be acyclic contains a cycle."""
+
+
+class RepositoryError(ReproError):
+    """Base class for errors raised by the prototype version manager."""
+
+
+class ObjectNotFoundError(RepositoryError, KeyError):
+    """A content-addressed object is missing from the object store."""
+
+
+class MergeError(RepositoryError):
+    """A merge could not be performed (e.g. fewer than two parents)."""
+
+
+class DeltaApplicationError(ReproError):
+    """A delta could not be applied to the payload it claims to transform."""
+
+
+class SolverError(ReproError):
+    """An optimization algorithm failed to produce a valid storage plan."""

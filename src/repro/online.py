@@ -1,0 +1,208 @@
+"""Online (incremental) storage decisions.
+
+The paper explicitly defers the *online* version of the problem — "new
+datasets and versions are typically being created continuously" — to future
+work.  This module implements the natural incremental counterpart of the
+offline algorithms so the prototype repository can make storage decisions at
+commit time and periodically re-optimize:
+
+* :class:`OnlineStoragePolicy` decides, for each newly arriving version,
+  whether to materialize it or to store it as a delta from one of a small
+  set of candidate parents, while maintaining either a maximum-recreation
+  invariant (the online analogue of Problem 6) or a storage-headroom
+  invariant (the online analogue of Problem 3).
+* :func:`should_repack` implements the simple trigger rule used by the
+  examples: re-run the offline optimizer when the realized storage drifts a
+  given factor away from what the offline optimum would use.
+
+The policy is deliberately greedy — it never revisits earlier decisions —
+which is exactly what makes periodic offline repacking (the paper's setting)
+worthwhile; the gap between the two is measured in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .core.storage_plan import StoragePlan
+from .core.version import VersionID
+from .exceptions import InvalidCostError, VersionNotFoundError
+
+__all__ = ["OnlineDecision", "OnlineStoragePolicy", "should_repack"]
+
+
+@dataclass(frozen=True)
+class OnlineDecision:
+    """The outcome of one online storage decision."""
+
+    version_id: VersionID
+    parent: VersionID | None
+    storage_cost: float
+    recreation_cost: float
+
+    @property
+    def materialized(self) -> bool:
+        """True when the version was stored in full."""
+        return self.parent is None
+
+
+@dataclass
+class OnlineStoragePolicy:
+    """Greedy commit-time storage decisions with a recreation invariant.
+
+    Parameters
+    ----------
+    recreation_threshold:
+        Upper bound θ on the recreation cost of every stored version (the
+        online analogue of Problem 6).  ``None`` disables the bound.
+    max_chain_length:
+        Optional bound on the number of delta applications (Git's
+        ``max_depth`` analogue); ``None`` disables it.
+    prefer_smallest_delta:
+        When true (default) the cheapest feasible delta is chosen; when
+        false the first feasible candidate wins (faster, slightly worse).
+    """
+
+    recreation_threshold: float | None = None
+    max_chain_length: int | None = None
+    prefer_smallest_delta: bool = True
+
+    #: Running storage plan over all versions seen so far.
+    plan: StoragePlan = field(default_factory=StoragePlan)
+    #: Recreation cost of every stored version under the current decisions.
+    recreation: dict[VersionID, float] = field(default_factory=dict)
+    #: Delta chain length of every stored version.
+    depth: dict[VersionID, int] = field(default_factory=dict)
+    #: Total storage cost of all decisions taken so far.
+    total_storage: float = 0.0
+
+    def observe(
+        self,
+        version_id: VersionID,
+        materialization: tuple[float, float],
+        candidates: Iterable[tuple[VersionID, float, float]] = (),
+    ) -> OnlineDecision:
+        """Decide how to store a newly committed version.
+
+        Parameters
+        ----------
+        version_id:
+            Identifier of the new version.
+        materialization:
+            ``(storage, recreation)`` cost of storing the version in full.
+        candidates:
+            Candidate parents as ``(parent_id, delta_storage,
+            delta_recreation)`` triples.  Parents must have been observed
+            earlier (the repository typically offers the version-graph
+            parents plus a few recent versions).
+
+        Returns
+        -------
+        OnlineDecision
+            The decision taken; the policy's internal plan is updated.
+        """
+        if version_id in self.plan:
+            raise InvalidCostError(f"version {version_id!r} was already observed")
+        full_storage, full_recreation = materialization
+        if full_storage < 0 or full_recreation < 0:
+            raise InvalidCostError("materialization costs must be non-negative")
+
+        best: OnlineDecision | None = None
+        for parent, delta_storage, delta_recreation in candidates:
+            if parent not in self.plan:
+                raise VersionNotFoundError(parent)
+            chain_recreation = self.recreation[parent] + delta_recreation
+            chain_depth = self.depth[parent] + 1
+            if delta_storage >= full_storage:
+                continue
+            if (
+                self.recreation_threshold is not None
+                and chain_recreation > self.recreation_threshold * (1 + 1e-12) + 1e-9
+            ):
+                continue
+            if self.max_chain_length is not None and chain_depth > self.max_chain_length:
+                continue
+            candidate = OnlineDecision(
+                version_id=version_id,
+                parent=parent,
+                storage_cost=delta_storage,
+                recreation_cost=chain_recreation,
+            )
+            if best is None or candidate.storage_cost < best.storage_cost:
+                best = candidate
+                if not self.prefer_smallest_delta:
+                    break
+
+        if best is None:
+            if (
+                self.recreation_threshold is not None
+                and full_recreation > self.recreation_threshold * (1 + 1e-12) + 1e-9
+            ):
+                raise InvalidCostError(
+                    f"version {version_id!r} cannot satisfy the recreation "
+                    f"threshold even when materialized"
+                )
+            best = OnlineDecision(
+                version_id=version_id,
+                parent=None,
+                storage_cost=full_storage,
+                recreation_cost=full_recreation,
+            )
+
+        self._record(best)
+        return best
+
+    def _record(self, decision: OnlineDecision) -> None:
+        if decision.parent is None:
+            self.plan.materialize(decision.version_id)
+            self.depth[decision.version_id] = 0
+        else:
+            self.plan.assign(decision.version_id, decision.parent)
+            self.depth[decision.version_id] = self.depth[decision.parent] + 1
+        self.recreation[decision.version_id] = decision.recreation_cost
+        self.total_storage += decision.storage_cost
+
+    # ------------------------------------------------------------------ #
+    # aggregate views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_versions(self) -> int:
+        """Number of versions decided so far."""
+        return len(self.plan)
+
+    @property
+    def max_recreation(self) -> float:
+        """Largest recreation cost among the stored versions."""
+        return max(self.recreation.values(), default=0.0)
+
+    @property
+    def sum_recreation(self) -> float:
+        """Sum of recreation costs of the stored versions."""
+        return float(sum(self.recreation.values()))
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate view of all decisions taken so far."""
+        materialized = len(self.plan.materialized_versions())
+        return {
+            "num_versions": float(self.num_versions),
+            "num_materialized": float(materialized),
+            "total_storage": self.total_storage,
+            "sum_recreation": self.sum_recreation,
+            "max_recreation": self.max_recreation,
+            "max_chain_length": float(max(self.depth.values(), default=0)),
+        }
+
+
+def should_repack(
+    online_storage: float, offline_storage: float, *, tolerance: float = 1.5
+) -> bool:
+    """Trigger rule for periodic offline repacking.
+
+    Returns true when the storage the online policy has accumulated exceeds
+    ``tolerance`` times what the offline optimizer would use — the point at
+    which paying the repacking cost is clearly worthwhile.
+    """
+    if offline_storage <= 0:
+        return False
+    return online_storage > tolerance * offline_storage

@@ -1,0 +1,28 @@
+"""The prototype version-management system (DataHub-style).
+
+* :mod:`~repro.storage.objects` — content-addressed store for full objects
+  and deltas;
+* :mod:`~repro.storage.materializer` — reconstructs payloads by replaying
+  delta chains;
+* :mod:`~repro.storage.repository` — commit / checkout / branch / merge,
+  plus the bridge to the optimization layer (cost-model measurement and
+  plan-driven repacking);
+* :mod:`~repro.storage.planner` — applies a storage plan to the object
+  store.
+"""
+
+from .materializer import MaterializationResult, Materializer
+from .objects import ObjectStore, StoredObject
+from .planner import apply_plan, plan_order
+from .repository import CheckoutStats, Repository
+
+__all__ = [
+    "MaterializationResult",
+    "Materializer",
+    "ObjectStore",
+    "StoredObject",
+    "apply_plan",
+    "plan_order",
+    "CheckoutStats",
+    "Repository",
+]

@@ -1,0 +1,170 @@
+"""Content-addressed object store.
+
+The prototype version manager persists two kinds of objects:
+
+* *full objects* — a complete version payload, and
+* *delta objects* — a :class:`~repro.delta.base.Delta` plus the id of the
+  base object it applies to.
+
+Objects are addressed by a SHA-256 digest of their serialized form, so
+identical payloads are automatically deduplicated (the same mechanism Git
+and the archival systems surveyed in Section 6 rely on).  The store is
+in-memory by default but can be given a directory to persist objects to
+disk; both modes expose identical behavior, which keeps the repository and
+planner code independent of where bytes actually live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..delta.base import Delta, payload_size
+from ..exceptions import ObjectNotFoundError
+
+__all__ = ["StoredObject", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One object in the store.
+
+    ``kind`` is ``"full"`` or ``"delta"``.  For delta objects ``base_id``
+    names the object the delta applies to and ``payload`` holds the
+    :class:`~repro.delta.base.Delta`; for full objects ``payload`` holds the
+    version content itself.
+    """
+
+    object_id: str
+    kind: str
+    payload: Any
+    base_id: str | None = None
+
+    @property
+    def is_delta(self) -> bool:
+        """True for delta objects."""
+        return self.kind == "delta"
+
+    def storage_cost(self) -> float:
+        """Bytes (abstract units) this object occupies."""
+        if self.is_delta:
+            delta: Delta = self.payload
+            return delta.storage_cost
+        return payload_size(self.payload)
+
+
+class ObjectStore:
+    """A content-addressed store for full and delta objects."""
+
+    def __init__(self, directory: str | None = None) -> None:
+        self._objects: dict[str, StoredObject] = {}
+        self._directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._load_from_disk()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def put_full(self, payload: Any) -> str:
+        """Store a full payload; return its object id."""
+        object_id = self._digest(("full", payload))
+        if object_id not in self._objects:
+            self._store(StoredObject(object_id=object_id, kind="full", payload=payload))
+        return object_id
+
+    def put_delta(self, base_id: str, delta: Delta) -> str:
+        """Store a delta applying to ``base_id``; return its object id."""
+        if base_id not in self._objects:
+            raise ObjectNotFoundError(base_id)
+        object_id = self._digest(("delta", base_id, delta.operations))
+        if object_id not in self._objects:
+            self._store(
+                StoredObject(
+                    object_id=object_id, kind="delta", payload=delta, base_id=base_id
+                )
+            )
+        return object_id
+
+    def remove(self, object_id: str) -> None:
+        """Remove an object (no error if absent).  Used by the re-packer."""
+        self._objects.pop(object_id, None)
+        if self._directory is not None:
+            path = self._path(object_id)
+            if os.path.exists(path):
+                os.remove(path)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def get(self, object_id: str) -> StoredObject:
+        """Fetch an object by id."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(object_id) from None
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StoredObject]:
+        return iter(list(self._objects.values()))
+
+    def total_storage_cost(self) -> float:
+        """Sum of the storage costs of every object currently stored."""
+        return float(sum(obj.storage_cost() for obj in self._objects.values()))
+
+    def delta_chain(self, object_id: str) -> list[StoredObject]:
+        """The chain of objects needed to materialize ``object_id``.
+
+        The returned list starts at a full object and ends at the requested
+        object; a full object's chain is just itself.
+        """
+        chain: list[StoredObject] = []
+        current = self.get(object_id)
+        seen: set[str] = set()
+        while True:
+            chain.append(current)
+            if not current.is_delta:
+                break
+            if current.object_id in seen:
+                raise ObjectNotFoundError(
+                    f"delta chain of {object_id!r} contains a cycle"
+                )
+            seen.add(current.object_id)
+            current = self.get(current.base_id)  # type: ignore[arg-type]
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _digest(value: Any) -> str:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha256(data).hexdigest()
+
+    def _store(self, obj: StoredObject) -> None:
+        self._objects[obj.object_id] = obj
+        if self._directory is not None:
+            with open(self._path(obj.object_id), "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _path(self, object_id: str) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"{object_id}.obj")
+
+    def _load_from_disk(self) -> None:
+        assert self._directory is not None
+        for name in os.listdir(self._directory):
+            if not name.endswith(".obj"):
+                continue
+            with open(os.path.join(self._directory, name), "rb") as handle:
+                obj: StoredObject = pickle.load(handle)
+            self._objects[obj.object_id] = obj

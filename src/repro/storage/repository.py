@@ -1,0 +1,307 @@
+"""A miniature DataHub-style version-controlled repository.
+
+The paper's prototype exposes "a subset of Git/SVN-like interface for
+dataset versioning": users commit new versions of a dataset, check out any
+version, create branches and record merges (merges are performed by the user
+and registered with more than one parent).  :class:`Repository` provides the
+same surface on top of the object store, delta encoders and storage plans of
+this package:
+
+* ``commit(payload, parents=...)`` registers a new version.  By default the
+  payload is stored as a delta against its first parent (if that delta is
+  smaller than the full payload);
+* ``checkout(version_id)`` reconstructs any version and reports the
+  recreation cost actually paid;
+* ``branch``/``merge`` manipulate named branch heads;
+* ``repack(plan)`` re-encodes the whole repository according to a
+  :class:`~repro.core.storage_plan.StoragePlan` produced by any of the
+  optimization algorithms — this is the bridge between the optimization
+  layer and the bytes on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..core.instance import ProblemInstance
+from ..core.matrices import CostModel
+from ..core.storage_plan import StoragePlan
+from ..core.version import Version, VersionID
+from ..core.version_graph import VersionGraph
+from ..delta.base import DeltaEncoder, payload_size
+from ..delta.line_diff import LineDiffEncoder
+from ..exceptions import MergeError, RepositoryError, VersionNotFoundError
+from .materializer import MaterializationResult, Materializer
+from .objects import ObjectStore
+
+__all__ = ["Repository", "CheckoutStats"]
+
+
+@dataclass
+class CheckoutStats:
+    """Aggregate statistics over the checkouts served by a repository."""
+
+    num_checkouts: int = 0
+    total_recreation_cost: float = 0.0
+    max_recreation_cost: float = 0.0
+    total_chain_length: int = 0
+    per_version: dict[VersionID, int] = field(default_factory=dict)
+
+    def record(self, version_id: VersionID, result: MaterializationResult) -> None:
+        """Fold one checkout into the running totals."""
+        self.num_checkouts += 1
+        self.total_recreation_cost += result.recreation_cost
+        self.max_recreation_cost = max(self.max_recreation_cost, result.recreation_cost)
+        self.total_chain_length += result.chain_length
+        self.per_version[version_id] = self.per_version.get(version_id, 0) + 1
+
+    @property
+    def average_recreation_cost(self) -> float:
+        """Mean recreation cost over all recorded checkouts."""
+        if self.num_checkouts == 0:
+            return 0.0
+        return self.total_recreation_cost / self.num_checkouts
+
+
+class Repository:
+    """Commit/checkout/branch/merge on top of delta-compressed storage."""
+
+    DEFAULT_BRANCH = "main"
+
+    def __init__(
+        self,
+        encoder: DeltaEncoder | None = None,
+        *,
+        directory: str | None = None,
+        cache_size: int = 4,
+        delta_against_parent: bool = True,
+    ) -> None:
+        self.encoder = encoder if encoder is not None else LineDiffEncoder()
+        self.store = ObjectStore(directory=directory)
+        self.materializer = Materializer(self.store, self.encoder, cache_size=cache_size)
+        self.graph = VersionGraph()
+        self.delta_against_parent = bool(delta_against_parent)
+        self._object_of: dict[VersionID, str] = {}
+        self._branches: dict[str, VersionID | None] = {self.DEFAULT_BRANCH: None}
+        self._current_branch = self.DEFAULT_BRANCH
+        self._counter = 0
+        self.checkout_stats = CheckoutStats()
+
+    # ------------------------------------------------------------------ #
+    # branching
+    # ------------------------------------------------------------------ #
+    @property
+    def current_branch(self) -> str:
+        """Name of the branch new commits go to."""
+        return self._current_branch
+
+    @property
+    def branches(self) -> dict[str, VersionID | None]:
+        """Mapping of branch name to its head version (None for empty)."""
+        return dict(self._branches)
+
+    def branch(self, name: str, at: VersionID | None = None) -> None:
+        """Create branch ``name`` pointing at ``at`` (default: current head)."""
+        if name in self._branches:
+            raise RepositoryError(f"branch {name!r} already exists")
+        head = at if at is not None else self._branches[self._current_branch]
+        if head is not None and head not in self.graph:
+            raise VersionNotFoundError(head)
+        self._branches[name] = head
+
+    def switch(self, name: str) -> None:
+        """Make ``name`` the current branch."""
+        if name not in self._branches:
+            raise RepositoryError(f"branch {name!r} does not exist")
+        self._current_branch = name
+
+    def head(self, branch: str | None = None) -> VersionID | None:
+        """Head version of ``branch`` (default: the current branch)."""
+        name = branch or self._current_branch
+        if name not in self._branches:
+            raise RepositoryError(f"branch {name!r} does not exist")
+        return self._branches[name]
+
+    # ------------------------------------------------------------------ #
+    # committing
+    # ------------------------------------------------------------------ #
+    def commit(
+        self,
+        payload: Any,
+        *,
+        parents: Iterable[VersionID] | None = None,
+        message: str = "",
+        version_id: VersionID | None = None,
+    ) -> VersionID:
+        """Register a new version of the dataset.
+
+        When ``parents`` is omitted the current branch head is used (a root
+        commit when the branch is empty).  The payload is stored as a delta
+        against the first parent whenever that delta is smaller than the
+        payload itself; otherwise it is stored in full.
+        """
+        parent_ids = tuple(parents) if parents is not None else ()
+        if not parent_ids:
+            head = self._branches[self._current_branch]
+            parent_ids = (head,) if head is not None else ()
+        for parent in parent_ids:
+            if parent not in self.graph:
+                raise VersionNotFoundError(parent)
+
+        vid = version_id if version_id is not None else self._next_id()
+        size = payload_size(payload)
+        version = Version(
+            version_id=vid,
+            size=size,
+            name=message or str(vid),
+            parents=parent_ids,
+            created_at=self._counter,
+            metadata={"message": message},
+        )
+        self.graph.add_version(version)
+
+        stored_as_delta = False
+        if self.delta_against_parent and parent_ids:
+            base_vid = parent_ids[0]
+            base_payload = self.checkout(base_vid, record_stats=False).payload
+            delta = self.encoder.diff(base_payload, payload)
+            if delta.storage_cost < size:
+                base_object = self._object_of[base_vid]
+                self._object_of[vid] = self.store.put_delta(base_object, delta)
+                stored_as_delta = True
+        if not stored_as_delta:
+            self._object_of[vid] = self.store.put_full(payload)
+
+        self._branches[self._current_branch] = vid
+        return vid
+
+    def merge(
+        self,
+        other_head: VersionID,
+        merged_payload: Any,
+        *,
+        message: str = "merge",
+    ) -> VersionID:
+        """Record a merge of the current branch head with ``other_head``.
+
+        As in the paper's prototype, the *user* performs the merge and hands
+        the system the merged payload; the system records a version with two
+        parents.
+        """
+        current_head = self._branches[self._current_branch]
+        if current_head is None:
+            raise MergeError("cannot merge into an empty branch")
+        if other_head not in self.graph:
+            raise VersionNotFoundError(other_head)
+        if other_head == current_head:
+            raise MergeError("cannot merge a branch head with itself")
+        return self.commit(
+            merged_payload, parents=(current_head, other_head), message=message
+        )
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def checkout(self, version_id: VersionID, record_stats: bool = True) -> MaterializationResult:
+        """Reconstruct the payload of ``version_id``."""
+        if version_id not in self._object_of:
+            raise VersionNotFoundError(version_id)
+        result = self.materializer.materialize(self._object_of[version_id])
+        if record_stats:
+            self.checkout_stats.record(version_id, result)
+        return result
+
+    def log(self, version_id: VersionID | None = None) -> list[Version]:
+        """History of ``version_id`` (default: current head), newest first."""
+        head = version_id if version_id is not None else self._branches[self._current_branch]
+        if head is None:
+            return []
+        ancestors = self.graph.ancestors(head) | {head}
+        versions = [self.graph.version(vid) for vid in ancestors]
+        return sorted(versions, key=lambda v: v.created_at, reverse=True)
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def total_storage_cost(self) -> float:
+        """Storage cost of every object currently in the store."""
+        return self.store.total_storage_cost()
+
+    # ------------------------------------------------------------------ #
+    # bridging to the optimization layer
+    # ------------------------------------------------------------------ #
+    def build_cost_model(
+        self,
+        *,
+        pairs: Iterable[tuple[VersionID, VersionID]] | None = None,
+        hop_limit: int | None = 2,
+    ) -> CostModel:
+        """Measure a Δ/Φ cost model from the repository's actual payloads.
+
+        Deltas are computed with the repository's encoder between the pairs
+        given (default: all ordered pairs within ``hop_limit`` undirected
+        hops in the version graph).
+        """
+        model = CostModel(directed=not self.encoder.symmetric, phi_equals_delta=False)
+        payloads: dict[VersionID, Any] = {}
+        for vid in self.graph.version_ids:
+            payloads[vid] = self.checkout(vid, record_stats=False).payload
+            size = payload_size(payloads[vid])
+            model.set_materialization(vid, size, size)
+        if pairs is None:
+            selected: list[tuple[VersionID, VersionID]] = []
+            for source in self.graph.version_ids:
+                distances = self.graph.undirected_hop_distance(source, max_hops=hop_limit)
+                selected.extend(
+                    (source, target) for target in distances if target != source
+                )
+        else:
+            selected = list(pairs)
+        for source, target in selected:
+            delta = self.encoder.diff(payloads[source], payloads[target])
+            model.set_delta(source, target, delta.storage_cost, delta.recreation_cost)
+        return model
+
+    def problem_instance(
+        self,
+        *,
+        access_frequencies: Mapping[VersionID, float] | None = None,
+        hop_limit: int | None = 2,
+    ) -> ProblemInstance:
+        """The repository as a :class:`~repro.core.instance.ProblemInstance`."""
+        model = self.build_cost_model(hop_limit=hop_limit)
+        return ProblemInstance.from_version_graph(self.graph, model, access_frequencies)
+
+    def repack(self, plan: StoragePlan) -> dict[str, float]:
+        """Re-encode every version according to ``plan``.
+
+        Versions the plan materializes are stored in full; versions stored
+        as deltas are re-diffed against their plan parent.  Returns a small
+        report with the storage cost before and after.  Objects no longer
+        referenced are removed from the store.
+        """
+        from .planner import apply_plan  # local import to avoid a cycle
+
+        return apply_plan(self, plan)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> str:
+        vid = f"v{self._counter}"
+        self._counter += 1
+        return vid
+
+    def object_id_of(self, version_id: VersionID) -> str:
+        """Object id currently backing ``version_id`` (used by the planner)."""
+        try:
+            return self._object_of[version_id]
+        except KeyError:
+            raise VersionNotFoundError(version_id) from None
+
+    def _set_object(self, version_id: VersionID, object_id: str) -> None:
+        """Repoint ``version_id`` at a different object (used by the planner)."""
+        if version_id not in self.graph:
+            raise VersionNotFoundError(version_id)
+        self._object_of[version_id] = object_id

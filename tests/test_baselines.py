@@ -1,0 +1,129 @@
+"""Tests for the naive, SVN skip-delta and gzip baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.mst import minimum_storage_plan
+from repro.baselines.gzip_baseline import gzip_cost_report, gzip_payload_report
+from repro.baselines.naive import materialize_all_plan, single_chain_plan
+from repro.baselines.svn_skip_delta import skip_delta_parent_index, svn_skip_delta_report
+
+from .conftest import build_chain_instance
+
+
+class TestNaiveBaselines:
+    def test_materialize_all(self, small_dc):
+        instance = small_dc.instance
+        plan = materialize_all_plan(instance)
+        plan.validate(instance)
+        metrics = plan.evaluate(instance)
+        assert metrics.num_materialized == len(instance)
+        assert metrics.storage_cost == pytest.approx(
+            sum(instance.materialization_storage(vid) for vid in instance.version_ids)
+        )
+
+    def test_single_chain_has_one_materialized_version(self):
+        instance = build_chain_instance(6, full_size=100, delta_size=10)
+        plan = single_chain_plan(instance)
+        plan.validate(instance)
+        assert len(plan.materialized_versions()) == 1
+        assert plan.storage_cost(instance) == pytest.approx(100 + 5 * 10)
+
+    def test_single_chain_on_sparse_matrix_falls_back_to_materialization(self):
+        from repro.core import CostModel, ProblemInstance, Version
+
+        model = CostModel()
+        model.set_materialization("a", 10)
+        model.set_materialization("b", 20)  # no delta revealed between a and b
+        instance = ProblemInstance([Version("a", size=10), Version("b", size=20)], model)
+        plan = single_chain_plan(instance)
+        plan.validate(instance)
+        assert len(plan.materialized_versions()) == 2
+
+    def test_single_chain_custom_root(self, small_lc):
+        instance = small_lc.instance
+        root = instance.version_ids[3]
+        plan = single_chain_plan(instance, root=root)
+        plan.validate(instance)
+        assert plan.is_materialized(root)
+
+    def test_single_chain_storage_between_mca_and_everything(self, small_lc):
+        instance = small_lc.instance
+        chain_cost = single_chain_plan(instance).storage_cost(instance)
+        mca_cost = minimum_storage_plan(instance).storage_cost(instance)
+        everything = materialize_all_plan(instance).storage_cost(instance)
+        assert mca_cost - 1e-6 <= chain_cost <= everything + 1e-6
+
+
+class TestSkipDelta:
+    def test_parent_index_rule(self):
+        # revision -> revision with lowest set bit cleared
+        assert skip_delta_parent_index(0) == -1
+        assert skip_delta_parent_index(1) == 0
+        assert skip_delta_parent_index(2) == 0
+        assert skip_delta_parent_index(3) == 2
+        assert skip_delta_parent_index(4) == 0
+        assert skip_delta_parent_index(6) == 4
+        assert skip_delta_parent_index(7) == 6
+        assert skip_delta_parent_index(8) == 0
+
+    def test_chain_length_is_logarithmic(self, small_lc):
+        report = svn_skip_delta_report(small_lc.instance)
+        assert report.max_chain_length <= len(small_lc.instance).bit_length()
+
+    def test_report_plan_is_valid_when_no_estimation_needed(self):
+        instance = build_chain_instance(8, full_size=100, delta_size=5)
+        report = svn_skip_delta_report(instance)
+        # Skip deltas between non-adjacent revisions get estimated, so the
+        # realized storage must be at least the MCA storage.
+        mca_cost = minimum_storage_plan(instance).storage_cost(instance)
+        assert report.storage_cost >= mca_cost - 1e-6
+
+    def test_skip_delta_uses_more_storage_than_mca(self, small_lc):
+        # The paper's Section 5.2 observation: SVN's redundancy costs space.
+        instance = small_lc.instance
+        report = svn_skip_delta_report(instance)
+        mca_cost = minimum_storage_plan(instance).storage_cost(instance)
+        assert report.storage_cost >= mca_cost - 1e-6
+
+    def test_report_dict_fields(self, small_bf):
+        report = svn_skip_delta_report(small_bf.instance).as_dict()
+        for key in ("storage_cost", "sum_recreation", "max_recreation", "max_chain_length"):
+            assert key in report
+
+
+class TestGzipBaseline:
+    def test_cost_report_scales_with_ratio(self, small_dc):
+        instance = small_dc.instance
+        low = gzip_cost_report(instance, compression_ratio=2.0)
+        high = gzip_cost_report(instance, compression_ratio=4.0)
+        assert high.storage_cost == pytest.approx(low.storage_cost / 2.0)
+        assert high.sum_recreation == pytest.approx(low.sum_recreation)
+
+    def test_invalid_ratio_rejected(self, small_dc):
+        with pytest.raises(ValueError):
+            gzip_cost_report(small_dc.instance, compression_ratio=0.0)
+
+    def test_payload_report_compresses_redundant_text(self):
+        payloads = {
+            f"v{i}": "\n".join(f"row,{j % 5},{j % 3}" for j in range(200))
+            for i in range(4)
+        }
+        report = gzip_payload_report(payloads)
+        uncompressed_total = sum(len(p.encode()) for p in payloads.values())
+        assert report.storage_cost < uncompressed_total
+        assert report.max_recreation >= report.sum_recreation / len(payloads)
+
+    def test_payload_report_recreation_includes_overhead(self):
+        payloads = {"v": "x" * 1000}
+        cheap = gzip_payload_report(payloads, decompression_overhead=0.0)
+        costly = gzip_payload_report(payloads, decompression_overhead=0.5)
+        assert costly.sum_recreation > cheap.sum_recreation
+
+    def test_gzip_stores_more_than_mca_on_near_duplicates(self, small_bf):
+        # Independent compression cannot exploit cross-version redundancy.
+        instance = small_bf.instance
+        report = gzip_cost_report(instance, compression_ratio=3.0)
+        mca_cost = minimum_storage_plan(instance).storage_cost(instance)
+        assert report.storage_cost > mca_cost

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface of the prototype."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, load_repository, main
+from repro.exceptions import ReproError
+
+
+def write_file(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+@pytest.fixture
+def repo_dir(tmp_path):
+    directory = str(tmp_path / "repo")
+    assert main(["init", directory]) == 0
+    return directory
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = str(tmp_path / "data.csv")
+    write_file(path, [f"row,{i},{i * 2}" for i in range(40)])
+    return path
+
+
+class TestBasicCommands:
+    def test_init_creates_state(self, repo_dir):
+        assert os.path.exists(os.path.join(repo_dir, "repro_state.json"))
+
+    def test_commit_and_log(self, repo_dir, data_file, capsys):
+        assert main(["commit", repo_dir, data_file, "-m", "first"]) == 0
+        assert main(["log", repo_dir]) == 0
+        output = capsys.readouterr().out
+        assert "first" in output
+        assert "v0" in output
+
+    def test_commit_then_checkout_roundtrip(self, repo_dir, data_file, tmp_path, capsys):
+        main(["commit", repo_dir, data_file, "-m", "first"])
+        out_path = str(tmp_path / "restored.csv")
+        assert main(["checkout", repo_dir, "v0", "-o", out_path]) == 0
+        with open(data_file) as original, open(out_path) as restored:
+            assert original.read() == restored.read()
+
+    def test_checkout_to_stdout(self, repo_dir, data_file, capsys):
+        main(["commit", repo_dir, data_file])
+        capsys.readouterr()
+        assert main(["checkout", repo_dir, "v0"]) == 0
+        assert "row,0,0" in capsys.readouterr().out
+
+    def test_successive_commits_share_storage(self, repo_dir, data_file, tmp_path, capsys):
+        main(["commit", repo_dir, data_file, "-m", "base"])
+        changed = str(tmp_path / "changed.csv")
+        write_file(changed, [f"row,{i},{i * 2}" for i in range(40)] + ["extra,1,2"])
+        main(["commit", repo_dir, changed, "-m", "small change"])
+        capsys.readouterr()
+        assert main(["stats", repo_dir]) == 0
+        output = capsys.readouterr().out
+        assert "versions" in output and "storage cost" in output
+        repo = load_repository(repo_dir)
+        naive = sum(v.size for v in repo.graph.versions)
+        assert repo.total_storage_cost() < naive
+
+    def test_branch_listing_and_creation(self, repo_dir, data_file, capsys):
+        main(["commit", repo_dir, data_file])
+        assert main(["branch", repo_dir, "experiment"]) == 0
+        capsys.readouterr()
+        assert main(["branch", repo_dir]) == 0
+        output = capsys.readouterr().out
+        assert "experiment" in output and "main" in output
+
+    def test_commit_on_branch_and_merge(self, repo_dir, data_file, tmp_path, capsys):
+        main(["commit", repo_dir, data_file, "-m", "base"])
+        main(["branch", repo_dir, "side"])
+        side_file = str(tmp_path / "side.csv")
+        write_file(side_file, [f"row,{i},{i * 2}" for i in range(40)] + ["side,0,0"])
+        main(["commit", repo_dir, side_file, "--branch", "side", "-m", "side work"])
+        merged_file = str(tmp_path / "merged.csv")
+        write_file(merged_file, [f"row,{i},{i * 2}" for i in range(40)] + ["side,0,0", "main,0,0"])
+        # Return to main, then merge the side branch head (v1) into it.
+        assert main(["switch", repo_dir, "main"]) == 0
+        assert main(["merge", repo_dir, "v1", merged_file, "-m", "merge side"]) == 0
+        repo = load_repository(repo_dir)
+        merge_heads = repo.graph.merges()
+        assert len(merge_heads) == 1
+
+    def test_errors_return_nonzero(self, repo_dir, tmp_path, capsys):
+        missing_repo = str(tmp_path / "not-a-repo")
+        assert main(["log", missing_repo]) == 1
+        assert main(["checkout", repo_dir, "does-not-exist"]) == 1
+
+
+class TestOptimizationCommands:
+    @pytest.fixture
+    def populated_repo(self, repo_dir, tmp_path):
+        lines = [f"row,{i},{i * 3}" for i in range(60)]
+        for step in range(5):
+            path = str(tmp_path / f"step{step}.csv")
+            lines = lines[:30] + [f"patch,{step},0"] + lines[30:]
+            write_file(path, lines)
+            main(["commit", repo_dir, path, "-m", f"step {step}"])
+        return repo_dir
+
+    def test_solve_prints_metrics_and_writes_plan(self, populated_repo, tmp_path, capsys):
+        plan_path = str(tmp_path / "plan.json")
+        code = main(
+            ["solve", populated_repo, "--problem", "3", "--threshold-factor", "1.5",
+             "--plan-output", plan_path]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "storage cost" in output
+        with open(plan_path) as handle:
+            payload = json.load(handle)
+        assert payload["materialized"]
+
+    def test_solve_problem1_needs_no_threshold(self, populated_repo, capsys):
+        assert main(["solve", populated_repo, "--problem", "1"]) == 0
+        assert "mst" in capsys.readouterr().out
+
+    def test_repack_reduces_storage_and_preserves_data(self, populated_repo, tmp_path, capsys):
+        repo_before = load_repository(populated_repo)
+        payloads = {
+            vid: repo_before.checkout(vid).payload
+            for vid in repo_before.graph.version_ids
+        }
+        assert main(["repack", populated_repo, "--problem", "1"]) == 0
+        repo_after = load_repository(populated_repo)
+        for vid, payload in payloads.items():
+            assert repo_after.checkout(vid).payload == payload
+        assert repo_after.total_storage_cost() <= repo_before.total_storage_cost() + 1e-6
+
+    def test_parser_rejects_unknown_problem(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "somewhere", "--problem", "9"])
+
+
+class TestPersistence:
+    def test_state_survives_reload(self, repo_dir, data_file):
+        main(["commit", repo_dir, data_file, "-m", "persisted"])
+        repo = load_repository(repo_dir)
+        assert len(repo) == 1
+        assert repo.head() == "v0"
+        assert repo.checkout("v0").payload[0].startswith("row,0")
+
+    def test_load_missing_repository_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_repository(str(tmp_path / "nothing"))

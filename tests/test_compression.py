@@ -1,0 +1,66 @@
+"""Tests for the compression wrapper and gzip helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta.base import payload_size
+from repro.delta.compression import CompressedEncoder, compression_ratio, gzip_size
+from repro.delta.line_diff import LineDiffEncoder, TwoWayLineDiffEncoder
+
+
+class TestGzipHelpers:
+    def test_gzip_size_smaller_for_repetitive_data(self):
+        repetitive = "abc" * 1000
+        assert gzip_size(repetitive) < payload_size(repetitive)
+
+    def test_gzip_accepts_bytes_and_objects(self):
+        assert gzip_size(b"\x00" * 100) > 0
+        assert gzip_size([["a", "b"], ["c", "d"]]) > 0
+
+    def test_compression_ratio_above_one_for_real_text(self):
+        text = "\n".join(f"row,{i % 7},{i % 13}" for i in range(500))
+        assert compression_ratio(text) > 1.0
+
+
+class TestCompressedEncoder:
+    def test_roundtrip(self):
+        encoder = CompressedEncoder(LineDiffEncoder())
+        source = [f"line {i}" for i in range(80)]
+        target = source[:40] + ["inserted"] + source[40:]
+        delta = encoder.diff(source, target)
+        assert encoder.apply(source, delta) == target
+
+    def test_storage_smaller_than_uncompressed_for_large_deltas(self):
+        inner = LineDiffEncoder()
+        wrapped = CompressedEncoder(inner)
+        source = ["base"] * 5
+        target = [f"entirely new repetitive line {i % 3}" for i in range(300)]
+        raw = inner.diff(source, target)
+        packed = wrapped.diff(source, target)
+        assert packed.storage_cost < raw.storage_cost
+
+    def test_recreation_cost_grows_with_decompression_overhead(self):
+        source = [f"line {i}" for i in range(50)]
+        target = source + ["x"] * 20
+        cheap = CompressedEncoder(LineDiffEncoder(), decompression_overhead=0.0)
+        costly = CompressedEncoder(LineDiffEncoder(), decompression_overhead=1.0)
+        assert costly.diff(source, target).recreation_cost > cheap.diff(source, target).recreation_cost
+
+    def test_name_and_symmetry_follow_inner_encoder(self):
+        wrapped = CompressedEncoder(TwoWayLineDiffEncoder())
+        assert "line-diff-2way" in wrapped.name
+        assert wrapped.symmetric
+        assert not CompressedEncoder(LineDiffEncoder()).symmetric
+
+    def test_materialize_reports_compressed_storage(self):
+        wrapped = CompressedEncoder(LineDiffEncoder())
+        payload = ["the same line"] * 200
+        materialized = wrapped.materialize(payload)
+        assert materialized.storage_cost < payload_size(payload)
+        assert materialized.recreation_cost >= payload_size(payload)
+
+    def test_metadata_records_uncompressed_cost(self):
+        wrapped = CompressedEncoder(LineDiffEncoder())
+        delta = wrapped.diff(["a"], ["b", "c"])
+        assert "uncompressed_storage" in delta.metadata

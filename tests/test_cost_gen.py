@@ -1,0 +1,151 @@
+"""Tests for the Δ/Φ cost generators and reveal policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.cost_gen import (
+    SyntheticCostConfig,
+    costs_from_tables,
+    reveal_pairs,
+    synthetic_costs,
+)
+from repro.datagen.graph_gen import linear_chain_graph
+from repro.datagen.table_gen import TableDatasetConfig, generate_tables
+from repro.delta.line_diff import LineDiffEncoder, TwoWayLineDiffEncoder
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return linear_chain_graph(25, seed=11)
+
+
+class TestRevealPairs:
+    def test_none_reveals_only_version_graph_edges(self, small_graph):
+        pairs = reveal_pairs(small_graph, None)
+        assert set(pairs) == set(small_graph.edges())
+
+    def test_zero_reveals_all_ordered_pairs(self, small_graph):
+        pairs = reveal_pairs(small_graph, 0)
+        n = len(small_graph)
+        assert len(pairs) == n * (n - 1)
+
+    def test_khop_reveals_more_with_larger_k(self, small_graph):
+        one_hop = set(reveal_pairs(small_graph, 1))
+        three_hop = set(reveal_pairs(small_graph, 3))
+        assert one_hop <= three_hop
+        assert len(three_hop) > len(one_hop)
+
+    def test_khop_pairs_are_ordered_and_distinct(self, small_graph):
+        pairs = reveal_pairs(small_graph, 2)
+        assert all(a != b for a, b in pairs)
+        # Undirected hop distance is symmetric, so each pair appears both ways.
+        assert all((b, a) in set(pairs) for a, b in pairs)
+
+
+class TestSyntheticCosts:
+    def test_every_version_has_materialization_cost(self, small_graph):
+        model = synthetic_costs(small_graph, SyntheticCostConfig(seed=1), hop_limit=2)
+        for vid in small_graph.version_ids:
+            assert model.delta.get(vid, vid) is not None
+            assert model.phi.get(vid, vid) is not None
+
+    def test_deltas_never_exceed_materialization(self, small_graph):
+        model = synthetic_costs(small_graph, SyntheticCostConfig(seed=2), hop_limit=3)
+        for (source, target), storage in model.delta.off_diagonal_items():
+            assert storage <= model.delta[target, target] + 1e-9
+
+    def test_proportional_mode_shares_phi(self, small_graph):
+        model = synthetic_costs(
+            small_graph, SyntheticCostConfig(seed=3, proportional=True), hop_limit=2
+        )
+        assert model.phi is model.delta
+        assert model.scenario == 2
+
+    def test_independent_mode_scales_phi(self, small_graph):
+        config = SyntheticCostConfig(seed=4, recreation_multiplier=5.0, recreation_noise=0.0)
+        model = synthetic_costs(small_graph, config, hop_limit=2)
+        for (source, target), storage in model.delta.off_diagonal_items():
+            assert model.phi[source, target] == pytest.approx(5.0 * storage)
+
+    def test_undirected_mode_symmetric(self, small_graph):
+        config = SyntheticCostConfig(seed=5, directed=False, proportional=True)
+        model = synthetic_costs(small_graph, config, hop_limit=2)
+        assert not model.directed
+        for (source, target), storage in model.delta.off_diagonal_items():
+            assert model.delta[target, source] == pytest.approx(storage)
+
+    def test_directed_mode_reveals_reverse_edges(self, small_graph):
+        model = synthetic_costs(small_graph, SyntheticCostConfig(seed=6), hop_limit=None)
+        for source, target in small_graph.edges():
+            assert model.has_delta(source, target)
+            assert model.has_delta(target, source)
+
+    def test_deterministic_for_seed(self, small_graph):
+        a = synthetic_costs(small_graph, SyntheticCostConfig(seed=7), hop_limit=2)
+        b = synthetic_costs(small_graph, SyntheticCostConfig(seed=7), hop_limit=2)
+        assert dict(a.delta.items()) == dict(b.delta.items())
+
+    def test_distance_growth_makes_far_deltas_larger(self, small_graph):
+        config = SyntheticCostConfig(
+            seed=8, delta_fraction_spread=0.0, distance_growth=1.0, directed=True
+        )
+        model = synthetic_costs(small_graph, config, hop_limit=4)
+        order = small_graph.topological_order()
+        # Compare a 1-hop delta with a 4-hop delta from the same source.
+        source = order[0]
+        near = model.delta.get(source, order[1])
+        far = model.delta.get(source, order[4])
+        if near is not None and far is not None:
+            assert far > near
+
+
+class TestCostsFromTables:
+    @pytest.fixture(scope="class")
+    def table_dataset(self):
+        # Tables large relative to the per-commit edit size and row-oriented
+        # edits (the paper's CSV + UNIX-diff setting): line deltas are then
+        # genuinely cheaper than full copies.
+        graph = linear_chain_graph(12, seed=20)
+        config = TableDatasetConfig(
+            base_rows=150,
+            base_columns=4,
+            max_rows_per_edit=8,
+            command_kinds=("add_rows", "delete_rows", "modify_rows"),
+            seed=20,
+        )
+        return generate_tables(graph, config)
+
+    def test_measured_costs_are_positive_and_complete(self, table_dataset):
+        model = costs_from_tables(table_dataset, LineDiffEncoder(), hop_limit=1)
+        for vid in table_dataset.graph.version_ids:
+            assert model.delta[vid, vid] > 0
+        assert model.delta.num_deltas() > 0
+
+    def test_directedness_follows_encoder(self, table_dataset):
+        directed = costs_from_tables(table_dataset, LineDiffEncoder(), hop_limit=1)
+        undirected = costs_from_tables(table_dataset, TwoWayLineDiffEncoder(), hop_limit=1)
+        assert directed.directed
+        assert not undirected.directed
+
+    def test_explicit_pairs_override_reveal_policy(self, table_dataset):
+        ids = table_dataset.graph.version_ids
+        model = costs_from_tables(
+            table_dataset, LineDiffEncoder(), pairs=[(ids[0], ids[1])]
+        )
+        assert model.delta.num_deltas() == 1
+
+    def test_measured_deltas_mostly_smaller_than_full_versions(self, table_dataset):
+        # A handful of edits can occasionally rewrite most of a small table
+        # (so its diff is not cheaper than a full copy), but the large
+        # majority of version-graph edges must have deltas well below the
+        # materialization cost — that is what makes delta storage worthwhile.
+        model = costs_from_tables(table_dataset, LineDiffEncoder(), hop_limit=1)
+        graph = table_dataset.graph
+        edges = graph.edges()
+        cheaper = sum(
+            1
+            for source, target in edges
+            if model.delta[source, target] < model.delta[target, target]
+        )
+        assert cheaper >= 0.9 * len(edges)

@@ -1,0 +1,65 @@
+"""Smoke tests that run the example scripts end to end.
+
+Each example is executed as a subprocess (the same way a user would run it)
+and must finish successfully and print the landmark lines its documentation
+promises.  The heavier figure-regeneration example is exercised at a tiny
+scale to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    """Run ``examples/<name>`` and return its stdout (fails on non-zero exit)."""
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Figure 1 example" in output
+        assert "Problem 6" in output
+        # The minimum-storage solution of the Figure 1 example costs 11450.
+        assert "1.14e+04" in output or "11450" in output
+
+    def test_collaborative_pipeline(self):
+        output = run_example("collaborative_pipeline.py")
+        assert "repack report" in output
+        assert "all versions verified identical after repacking" in output
+
+    def test_intermediate_results(self):
+        output = run_example("intermediate_results.py")
+        assert "Problem 3: LMG" in output
+        assert "stores" in output and "less than the naive archive" in output
+
+    def test_workload_aware_packing(self):
+        output = run_example("workload_aware_packing.py")
+        assert "weighted R (workload-aware)" in output
+        assert "replaying a 2000-checkout" in output
+
+    def test_datahub_repository(self):
+        output = run_example("datahub_repository.py")
+        assert "repacked:" in output
+        assert "predicted recreation" in output
+
+    @pytest.mark.slow
+    def test_paper_figures_small_scale(self):
+        output = run_example("paper_figures.py", "0.08")
+        assert "Figure 12: dataset properties" in output
+        assert "Table 2: ILP vs MP" in output

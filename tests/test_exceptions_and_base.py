@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and the delta base abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+from repro.delta.base import Delta, payload_size
+from repro.exceptions import (
+    DeltaApplicationError,
+    DuplicateVersionError,
+    InvalidStoragePlanError,
+    MissingDeltaError,
+    ReproError,
+    VersionNotFoundError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_exceptions_derive_from_repro_error(self):
+        for name in exceptions.__all__:
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, ReproError)
+
+    def test_lookup_errors_are_also_key_errors(self):
+        assert issubclass(VersionNotFoundError, KeyError)
+        assert issubclass(MissingDeltaError, KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        assert issubclass(DuplicateVersionError, ValueError)
+        assert issubclass(InvalidStoragePlanError, ValueError)
+
+    def test_version_not_found_carries_id(self):
+        error = VersionNotFoundError("v7")
+        assert error.version_id == "v7"
+        assert "v7" in str(error)
+
+    def test_missing_delta_carries_endpoints(self):
+        error = MissingDeltaError("a", "b")
+        assert (error.source, error.target) == ("a", "b")
+
+
+class TestPayloadSize:
+    def test_bytes(self):
+        assert payload_size(b"12345") == 5
+
+    def test_str_utf8(self):
+        assert payload_size("abc") == 3
+        assert payload_size("é") == 2  # two UTF-8 bytes
+
+    def test_list_of_lines(self):
+        assert payload_size(["ab", "cde"]) == (2 + 1) + (3 + 1)
+
+    def test_table(self):
+        assert payload_size([["a", "bb"], ["ccc"]]) == (2 + 3) + 4
+
+    def test_fallback_repr(self):
+        assert payload_size(1234) == len(repr(1234))
+
+
+class TestDeltaObject:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(DeltaApplicationError):
+            Delta(operations=(), storage_cost=-1.0, recreation_cost=0.0)
+        with pytest.raises(DeltaApplicationError):
+            Delta(operations=(), storage_cost=0.0, recreation_cost=-1.0)
+
+    def test_defaults(self):
+        delta = Delta(operations=("op",), storage_cost=1.0, recreation_cost=2.0)
+        assert not delta.symmetric
+        assert delta.encoder_name == "delta"
+        assert delta.metadata == {}

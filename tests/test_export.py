@@ -1,0 +1,45 @@
+"""Tests for the CSV/JSON experiment exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.bench.export import figure_to_dict, series_to_rows, write_csv, write_json
+from repro.bench.harness import SweepPoint, SweepSeries
+
+
+def sample_result():
+    series = SweepSeries(algorithm="LMG")
+    series.points.append(SweepPoint(1.0, 10.0, 100.0, 40.0, 100.0))
+    series.points.append(SweepPoint(2.0, 20.0, 80.0, 30.0, 80.0))
+    return {"references": {"mca_storage": 9.0}, "LMG": series}
+
+
+class TestExport:
+    def test_series_to_rows(self):
+        rows = series_to_rows(sample_result()["LMG"])
+        assert len(rows) == 2
+        assert rows[0][0] == "LMG"
+        assert rows[1][2] == 20.0
+
+    def test_figure_to_dict_serializable(self):
+        payload = figure_to_dict(sample_result())
+        assert payload["references"] == {"mca_storage": 9.0}
+        assert payload["LMG"][0]["storage_cost"] == 10.0
+        json.dumps(payload)  # must be JSON serializable
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "figure.csv")
+        write_csv(sample_result(), path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "algorithm"
+        assert len(rows) == 3
+
+    def test_write_json(self, tmp_path):
+        path = str(tmp_path / "figure.json")
+        write_json(sample_result(), path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["LMG"][1]["sum_recreation"] == 80.0

@@ -1,0 +1,118 @@
+"""Tests for the simulated fork datasets and the canonical DC/LC/BF/LF scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.forks_gen import ForkDatasetConfig, generate_fork_dataset
+from repro.datagen.scenarios import (
+    all_scenarios,
+    bootstrap_forks,
+    densely_connected,
+    linear_chain,
+    linux_forks,
+)
+
+
+class TestForkGenerator:
+    @pytest.fixture(scope="class")
+    def forks(self):
+        return generate_fork_dataset(ForkDatasetConfig(num_forks=40, seed=1))
+
+    def test_number_of_forks(self, forks):
+        assert len(forks.graph) == 40
+
+    def test_sizes_cluster_around_base(self, forks):
+        config = ForkDatasetConfig(num_forks=40, seed=1)
+        for vid in forks.graph.version_ids:
+            size = forks.cost_model.delta[vid, vid]
+            assert abs(size - config.base_size) <= config.base_size * config.size_spread * 1.01
+
+    def test_deltas_much_smaller_than_versions(self, forks):
+        # The whole point of the fork workloads: near-duplicate versions.
+        ratios = [
+            storage / forks.cost_model.delta[target, target]
+            for (source, target), storage in forks.cost_model.delta.off_diagonal_items()
+        ]
+        assert ratios, "fork dataset should reveal some deltas"
+        assert sum(ratios) / len(ratios) < 0.5
+
+    def test_pair_threshold_prunes_deltas(self):
+        loose = generate_fork_dataset(
+            ForkDatasetConfig(num_forks=30, seed=2, pair_threshold_fraction=1.0)
+        )
+        tight = generate_fork_dataset(
+            ForkDatasetConfig(num_forks=30, seed=2, pair_threshold_fraction=0.01)
+        )
+        assert tight.cost_model.delta.num_deltas() <= loose.cost_model.delta.num_deltas()
+
+    def test_deltas_revealed_in_both_directions(self, forks):
+        pairs = {pair for pair, _ in forks.cost_model.delta.off_diagonal_items()}
+        assert all((b, a) in pairs for (a, b) in pairs)
+
+    def test_deterministic(self):
+        first = generate_fork_dataset(ForkDatasetConfig(num_forks=20, seed=9))
+        second = generate_fork_dataset(ForkDatasetConfig(num_forks=20, seed=9))
+        assert dict(first.cost_model.delta.items()) == dict(second.cost_model.delta.items())
+
+
+class TestScenarios:
+    def test_all_four_scenarios_build(self):
+        datasets = all_scenarios(scale=0.1)
+        assert set(datasets) == {"DC", "LC", "BF", "LF"}
+        for dataset in datasets.values():
+            assert len(dataset.instance) >= 10
+
+    def test_mca_cheaper_than_spt_storage(self, small_dc, small_lc, small_bf):
+        for dataset in (small_dc, small_lc, small_bf):
+            assert dataset.mca_storage_cost < dataset.spt_storage_cost
+
+    def test_mca_recreation_worse_than_spt(self, small_dc):
+        summary = small_dc.summary()
+        assert summary["mca_sum_recreation"] >= summary["spt_sum_recreation"]
+        assert summary["mca_max_recreation"] >= summary["spt_max_recreation"]
+
+    def test_summary_contains_figure12_fields(self, small_lc):
+        summary = small_lc.summary()
+        for key in (
+            "num_versions",
+            "num_deltas",
+            "average_version_size",
+            "mca_storage_cost",
+            "mca_sum_recreation",
+            "mca_max_recreation",
+            "spt_storage_cost",
+            "spt_sum_recreation",
+            "spt_max_recreation",
+        ):
+            assert key in summary
+
+    def test_normalized_delta_sizes_are_small(self, small_bf):
+        normalized = small_bf.normalized_delta_sizes()
+        assert normalized
+        assert sum(normalized) / len(normalized) < 1.0
+
+    def test_dc_is_denser_than_lc(self):
+        dc = densely_connected(80, seed=1)
+        lc = linear_chain(80, seed=1)
+        dc_deltas_per_version = dc.summary()["num_deltas"] / len(dc.instance)
+        lc_deltas_per_version = lc.summary()["num_deltas"] / len(lc.instance)
+        assert dc_deltas_per_version > lc_deltas_per_version * 0.8
+
+    def test_lf_versions_larger_than_bf(self):
+        bf = bootstrap_forks(20, seed=2)
+        lf = linux_forks(15, seed=2)
+        assert (
+            lf.summary()["average_version_size"]
+            > 10 * bf.summary()["average_version_size"]
+        )
+
+    def test_undirected_variants(self):
+        dataset = densely_connected(40, seed=3, directed=False, proportional=True)
+        assert not dataset.instance.directed
+        assert dataset.instance.scenario == 1
+        assert dataset.mca_storage_cost < dataset.spt_storage_cost
+
+    def test_scenario_instances_cache(self, small_dc):
+        assert small_dc.instance is small_dc.instance
+        assert small_dc.mca_plan is small_dc.mca_plan

@@ -1,0 +1,123 @@
+"""Tests for the online (commit-time) storage policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidCostError, VersionNotFoundError
+from repro.online import OnlineStoragePolicy, should_repack
+
+
+class TestOnlineDecisions:
+    def test_first_version_is_materialized(self):
+        policy = OnlineStoragePolicy()
+        decision = policy.observe("v0", (100.0, 100.0))
+        assert decision.materialized
+        assert policy.total_storage == 100.0
+        assert policy.plan.is_materialized("v0")
+
+    def test_cheaper_delta_preferred(self):
+        policy = OnlineStoragePolicy()
+        policy.observe("v0", (100.0, 100.0))
+        decision = policy.observe("v1", (100.0, 100.0), [("v0", 10.0, 15.0)])
+        assert not decision.materialized
+        assert decision.parent == "v0"
+        assert decision.recreation_cost == pytest.approx(115.0)
+        assert policy.total_storage == pytest.approx(110.0)
+
+    def test_delta_larger_than_full_copy_rejected(self):
+        policy = OnlineStoragePolicy()
+        policy.observe("v0", (100.0, 100.0))
+        decision = policy.observe("v1", (50.0, 50.0), [("v0", 80.0, 80.0)])
+        assert decision.materialized
+
+    def test_smallest_delta_wins(self):
+        policy = OnlineStoragePolicy()
+        policy.observe("a", (100.0, 100.0))
+        policy.observe("b", (100.0, 100.0), [("a", 20.0, 20.0)])
+        decision = policy.observe(
+            "c", (100.0, 100.0), [("a", 30.0, 30.0), ("b", 5.0, 5.0)]
+        )
+        assert decision.parent == "b"
+
+    def test_recreation_threshold_forces_materialization(self):
+        policy = OnlineStoragePolicy(recreation_threshold=150.0)
+        policy.observe("v0", (100.0, 100.0))
+        policy.observe("v1", (100.0, 100.0), [("v0", 10.0, 40.0)])  # R = 140, ok
+        decision = policy.observe("v2", (100.0, 100.0), [("v1", 10.0, 40.0)])  # 180 > 150
+        assert decision.materialized
+        assert policy.max_recreation <= 150.0
+
+    def test_impossible_threshold_raises(self):
+        policy = OnlineStoragePolicy(recreation_threshold=50.0)
+        with pytest.raises(InvalidCostError):
+            policy.observe("v0", (100.0, 100.0))
+
+    def test_chain_length_bound(self):
+        policy = OnlineStoragePolicy(max_chain_length=1)
+        policy.observe("v0", (100.0, 100.0))
+        policy.observe("v1", (100.0, 100.0), [("v0", 10.0, 10.0)])
+        decision = policy.observe("v2", (100.0, 100.0), [("v1", 10.0, 10.0)])
+        assert decision.materialized
+        assert policy.summary()["max_chain_length"] == 1
+
+    def test_unknown_candidate_parent_rejected(self):
+        policy = OnlineStoragePolicy()
+        with pytest.raises(VersionNotFoundError):
+            policy.observe("v1", (100.0, 100.0), [("ghost", 1.0, 1.0)])
+
+    def test_duplicate_observation_rejected(self):
+        policy = OnlineStoragePolicy()
+        policy.observe("v0", (100.0, 100.0))
+        with pytest.raises(InvalidCostError):
+            policy.observe("v0", (100.0, 100.0))
+
+    def test_summary_fields(self):
+        policy = OnlineStoragePolicy()
+        policy.observe("v0", (100.0, 100.0))
+        policy.observe("v1", (100.0, 100.0), [("v0", 10.0, 10.0)])
+        summary = policy.summary()
+        assert summary["num_versions"] == 2
+        assert summary["num_materialized"] == 1
+        assert summary["total_storage"] == pytest.approx(110.0)
+        assert summary["sum_recreation"] == pytest.approx(100.0 + 110.0)
+
+    def test_online_never_better_than_offline_on_chain(self):
+        # The online policy is greedy; on a simple chain it should coincide
+        # with the offline optimum (materialize one version, delta the rest),
+        # and never beat it.
+        from repro.algorithms.mst import minimum_storage_plan
+        from tests.conftest import build_chain_instance
+
+        instance = build_chain_instance(6, full_size=100, delta_size=10)
+        policy = OnlineStoragePolicy()
+        previous = None
+        for vid in instance.version_ids:
+            candidates = []
+            if previous is not None:
+                candidates.append(
+                    (previous, instance.delta_storage(previous, vid),
+                     instance.delta_recreation(previous, vid))
+                )
+            policy.observe(
+                vid,
+                (instance.materialization_storage(vid), instance.materialization_recreation(vid)),
+                candidates,
+            )
+            previous = vid
+        offline = minimum_storage_plan(instance).storage_cost(instance)
+        assert policy.total_storage >= offline - 1e-9
+        assert policy.total_storage == pytest.approx(offline)
+
+
+class TestRepackTrigger:
+    def test_trigger_fires_only_on_large_drift(self):
+        assert not should_repack(100.0, 80.0)
+        assert should_repack(200.0, 80.0)
+
+    def test_zero_offline_storage_never_triggers(self):
+        assert not should_repack(100.0, 0.0)
+
+    def test_custom_tolerance(self):
+        assert should_repack(90.0, 80.0, tolerance=1.1)
+        assert not should_repack(90.0, 80.0, tolerance=1.2)

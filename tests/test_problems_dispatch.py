@@ -1,0 +1,126 @@
+"""Tests for the Problem 1-6 descriptions and the solve() dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.problems import PROBLEMS, Algorithm, ProblemKind, solve
+from repro.exceptions import InfeasibleProblemError, SolverError
+
+from .conftest import build_figure1_instance
+
+
+class TestProblemSpecs:
+    def test_all_six_problems_defined(self):
+        assert {kind.value for kind in PROBLEMS} == {1, 2, 3, 4, 5, 6}
+
+    def test_unconstrained_problems_take_no_threshold(self):
+        assert not PROBLEMS[ProblemKind.MINIMIZE_STORAGE].needs_threshold
+        assert not PROBLEMS[ProblemKind.MINIMIZE_RECREATION].needs_threshold
+
+    def test_constrained_problems_need_threshold(self):
+        for kind in (
+            ProblemKind.MINSUM_RECREATION,
+            ProblemKind.MINMAX_RECREATION,
+            ProblemKind.MIN_STORAGE_SUM_RECREATION,
+            ProblemKind.MIN_STORAGE_MAX_RECREATION,
+        ):
+            assert PROBLEMS[kind].needs_threshold
+
+    def test_objectives_match_table1(self):
+        assert PROBLEMS[ProblemKind.MINIMIZE_STORAGE].minimize is Objective.TOTAL_STORAGE
+        assert PROBLEMS[ProblemKind.MINSUM_RECREATION].minimize is Objective.SUM_RECREATION
+        assert PROBLEMS[ProblemKind.MINMAX_RECREATION].minimize is Objective.MAX_RECREATION
+        assert (
+            PROBLEMS[ProblemKind.MIN_STORAGE_MAX_RECREATION].constraint
+            is Objective.MAX_RECREATION
+        )
+
+
+class TestSolveDispatcher:
+    def test_problem1_auto(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 1)
+        assert result.algorithm == "mst"
+        assert result.metrics.storage_cost == pytest.approx(11450)
+
+    def test_problem2_auto(self):
+        instance = build_figure1_instance()
+        result = solve(instance, ProblemKind.MINIMIZE_RECREATION)
+        assert result.algorithm == "spt"
+        assert result.metrics.max_recreation == pytest.approx(10120)
+
+    def test_problem3_requires_threshold(self):
+        instance = build_figure1_instance()
+        with pytest.raises(InfeasibleProblemError):
+            solve(instance, 3)
+
+    def test_problem3_auto_uses_lmg(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 3, threshold=20000)
+        assert result.algorithm == "lmg"
+        assert result.metrics.storage_cost <= 20000 + 1e-6
+
+    def test_problem4_auto_uses_mp(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 4, threshold=25000)
+        assert result.algorithm == "mp"
+        assert result.metrics.storage_cost <= 25000 + 1e-6
+
+    def test_problem5_auto(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 5, threshold=60000)
+        assert result.metrics.sum_recreation <= 60000 + 1e-6
+
+    def test_problem6_auto(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 6, threshold=13000)
+        assert result.metrics.max_recreation <= 13000 + 1e-6
+
+    def test_problem6_with_ilp_algorithm(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 6, threshold=13000, algorithm="ilp")
+        assert result.algorithm == "ilp"
+        auto = solve(instance, 6, threshold=13000)
+        assert result.metrics.storage_cost <= auto.metrics.storage_cost + 1e-6
+
+    def test_explicit_algorithm_names(self):
+        instance = build_figure1_instance()
+        assert solve(instance, 1, algorithm=Algorithm.MST).algorithm == "mst"
+        assert solve(instance, 2, algorithm="spt").algorithm == "spt"
+        gith = solve(instance, 1, algorithm="gith", window=5)
+        assert gith.algorithm == "gith"
+        last = solve(instance, 4, threshold=30000, algorithm="last", alpha=2.0)
+        assert last.algorithm == "last"
+
+    def test_mismatched_algorithm_problem_rejected(self):
+        instance = build_figure1_instance()
+        with pytest.raises(SolverError):
+            solve(instance, 6, threshold=13000, algorithm="lmg")
+        with pytest.raises(SolverError):
+            solve(instance, 3, threshold=20000, algorithm="mp")
+
+    def test_unknown_problem_number_rejected(self):
+        instance = build_figure1_instance()
+        with pytest.raises(ValueError):
+            solve(instance, 7)
+
+    def test_result_repr_mentions_problem(self):
+        instance = build_figure1_instance()
+        result = solve(instance, 1)
+        assert "MINIMIZE_STORAGE" in repr(result)
+
+    def test_returned_plans_are_always_valid(self, small_lc):
+        instance = small_lc.instance
+        mca = solve(instance, 1).metrics.storage_cost
+        for kind, threshold in [
+            (1, None),
+            (2, None),
+            (3, 2.0 * mca),
+            (4, 2.0 * mca),
+            (5, 1e12),
+            (6, 1e9),
+        ]:
+            result = solve(instance, kind, threshold=threshold)
+            result.plan.validate(instance)

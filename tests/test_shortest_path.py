@@ -1,0 +1,125 @@
+"""Tests for Dijkstra and the shortest-path-tree plan, cross-checked with networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.shortest_path import (
+    dijkstra,
+    shortest_path_distances,
+    shortest_path_plan,
+    shortest_path_tree,
+)
+from repro.core.instance import ROOT
+from repro.exceptions import SolverError
+
+from .conftest import build_chain_instance, build_figure1_instance, build_random_instance
+
+
+def random_digraph(num_nodes: int, seed: int) -> dict:
+    rng = random.Random(seed)
+    adjacency: dict = {i: {} for i in range(num_nodes)}
+    for node in range(1, num_nodes):
+        adjacency[rng.randrange(node)][node] = rng.uniform(1, 50)
+    for _ in range(num_nodes * 3):
+        u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if u != v:
+            adjacency[u][v] = rng.uniform(1, 50)
+    return adjacency
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        adjacency = random_digraph(30, seed)
+        distances, parents = dijkstra(adjacency, 0)
+        graph = nx.DiGraph()
+        for u, row in adjacency.items():
+            graph.add_node(u)
+            for v, w in row.items():
+                graph.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(graph, 0)
+        assert set(distances) == set(expected)
+        for node, value in expected.items():
+            assert distances[node] == pytest.approx(value)
+
+    def test_parents_describe_shortest_paths(self):
+        adjacency = random_digraph(20, 9)
+        distances, parents = dijkstra(adjacency, 0)
+        for node, parent in parents.items():
+            assert distances[node] == pytest.approx(
+                distances[parent] + adjacency[parent][node]
+            )
+
+    def test_unreachable_nodes_absent(self):
+        adjacency = {0: {1: 1.0}, 1: {}, 2: {0: 1.0}}
+        distances, _ = dijkstra(adjacency, 0)
+        assert 2 not in distances
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SolverError):
+            dijkstra({0: {1: -1.0}, 1: {}}, 0)
+
+    def test_source_distance_zero(self):
+        distances, parents = dijkstra({0: {}}, 0)
+        assert distances == {0: 0.0}
+        assert parents == {}
+
+
+class TestShortestPathPlan:
+    def test_figure1_plan_materializes_everything(self):
+        # In the Figure 1/2 example every delta's Φ exceeds the savings over
+        # direct materialization, so the SPT is the star from the root.
+        instance = build_figure1_instance()
+        plan = shortest_path_plan(instance)
+        plan.validate(instance)
+        assert len(plan.materialized_versions()) == 5
+        metrics = plan.evaluate(instance)
+        assert metrics.sum_recreation == pytest.approx(49720)
+
+    def test_recreation_costs_equal_distances(self, small_dc):
+        instance = small_dc.instance
+        plan = shortest_path_plan(instance)
+        plan.validate(instance)
+        realized = plan.recreation_costs(instance)
+        distances = shortest_path_distances(instance)
+        for vid in instance.version_ids:
+            assert realized[vid] == pytest.approx(distances[vid])
+
+    def test_spt_gives_minimum_possible_recreation(self, small_lc):
+        # No other valid plan can beat the SPT's per-version recreation cost.
+        from repro.algorithms.mst import minimum_storage_plan
+
+        instance = small_lc.instance
+        spt_costs = shortest_path_plan(instance).recreation_costs(instance)
+        mca_costs = minimum_storage_plan(instance).recreation_costs(instance)
+        for vid in instance.version_ids:
+            assert spt_costs[vid] <= mca_costs[vid] + 1e-9
+
+    def test_chain_with_cheap_recreation_deltas_keeps_chains(self):
+        # When reading a full later version is slower than replaying a cheap
+        # delta on top of an earlier one, the SPT prefers the delta chain.
+        from repro.core.matrices import CostModel
+        from repro.core.instance import ProblemInstance
+        from repro.core.version import Version
+
+        model = CostModel(directed=True, phi_equals_delta=False)
+        model.set_materialization("v0", 100.0, 100.0)
+        model.set_materialization("v1", 100.0, 500.0)  # slow to read in full
+        model.set_delta("v0", "v1", 10.0, 1.0)         # but trivial to replay
+        instance = ProblemInstance([Version("v0", size=100), Version("v1", size=100)], model)
+        plan = shortest_path_plan(instance)
+        plan.validate(instance)
+        assert plan.parent("v1") == "v0"
+        assert plan.recreation_costs(instance)["v1"] == pytest.approx(101.0)
+
+    def test_tree_parents_valid(self, small_bf):
+        instance = small_bf.instance
+        parents = shortest_path_tree(instance)
+        assert set(parents) >= set(instance.version_ids)
+        for child, parent in parents.items():
+            if parent is not ROOT:
+                assert instance.cost_model.has_delta(parent, child)

@@ -1,0 +1,88 @@
+"""Tests for the tabular payload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.graph_gen import VersionGraphConfig, generate_version_graph
+from repro.datagen.table_gen import TableDatasetConfig, generate_tables, table_sizes
+from repro.delta.command_delta import apply_commands
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    graph = generate_version_graph(
+        VersionGraphConfig(
+            num_commits=40,
+            branch_interval=3,
+            branch_probability=0.5,
+            branch_limit=2,
+            branch_length=4,
+            merge_probability=0.6,
+            seed=4,
+        )
+    )
+    return generate_tables(graph, TableDatasetConfig(base_rows=50, base_columns=4, seed=4))
+
+
+class TestGenerateTables:
+    def test_every_version_has_a_table(self, dataset):
+        assert set(dataset.tables) == set(dataset.graph.version_ids)
+
+    def test_root_table_dimensions(self, dataset):
+        root = dataset.graph.roots()[0]
+        table = dataset.table(root)
+        assert len(table) == 50
+        assert all(len(row) == 4 for row in table)
+
+    def test_edge_commands_replay_to_child_table(self, dataset):
+        # For non-merge versions, applying the recorded commands to the
+        # parent's table must reproduce the child's table exactly.
+        checked = 0
+        for vid in dataset.graph.version_ids:
+            version = dataset.graph.version(vid)
+            if version.is_root or version.is_merge:
+                continue
+            parent = version.parents[0]
+            commands = dataset.edge_commands[(parent, vid)]
+            assert apply_commands(dataset.table(parent), commands) == dataset.table(vid)
+            checked += 1
+        assert checked > 0
+
+    def test_merge_versions_record_commands_from_both_parents(self, dataset):
+        merges = dataset.graph.merges()
+        if not merges:
+            pytest.skip("no merges generated for this seed")
+        for vid in merges:
+            primary, secondary = dataset.graph.parents(vid)[:2]
+            assert (primary, vid) in dataset.edge_commands
+            assert (secondary, vid) in dataset.edge_commands
+
+    def test_tables_are_string_cells(self, dataset):
+        for table in dataset.tables.values():
+            for row in table:
+                assert all(isinstance(cell, str) for cell in row)
+
+    def test_as_text_renders_csv_lines(self, dataset):
+        root = dataset.graph.roots()[0]
+        lines = dataset.as_text(root)
+        assert len(lines) == len(dataset.table(root))
+        assert all(line.count(",") == 3 for line in lines)
+
+    def test_table_sizes_positive(self, dataset):
+        sizes = table_sizes(dataset)
+        assert set(sizes) == set(dataset.graph.version_ids)
+        assert all(size > 0 for size in sizes.values())
+
+    def test_deterministic_for_fixed_seed(self, dataset):
+        graph = dataset.graph
+        regenerated = generate_tables(
+            graph, TableDatasetConfig(base_rows=50, base_columns=4, seed=4)
+        )
+        assert regenerated.tables == dataset.tables
+
+    def test_different_versions_have_different_content(self, dataset):
+        # The generator must actually change data between versions.
+        ids = dataset.graph.version_ids
+        distinct = {tuple(map(tuple, dataset.table(vid))) for vid in ids}
+        assert len(distinct) > len(ids) // 2

@@ -1,0 +1,78 @@
+"""Unit tests for the union-find structure."""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        forest = UnionFind(["a", "b", "c"])
+        assert forest.num_sets == 3
+        assert not forest.connected("a", "b")
+
+    def test_union_connects(self):
+        forest = UnionFind(["a", "b"])
+        assert forest.union("a", "b")
+        assert forest.connected("a", "b")
+        assert forest.num_sets == 1
+
+    def test_union_idempotent(self):
+        forest = UnionFind(["a", "b"])
+        forest.union("a", "b")
+        assert not forest.union("a", "b")
+        assert forest.num_sets == 1
+
+    def test_transitive_connectivity(self):
+        forest = UnionFind(["a", "b", "c", "d"])
+        forest.union("a", "b")
+        forest.union("c", "d")
+        assert not forest.connected("a", "c")
+        forest.union("b", "c")
+        assert forest.connected("a", "d")
+        assert forest.num_sets == 1
+
+    def test_auto_add_on_find(self):
+        forest = UnionFind()
+        assert forest.find("new") == "new"
+        assert "new" in forest
+        assert len(forest) == 1
+
+    def test_add_idempotent(self):
+        forest = UnionFind()
+        forest.add("x")
+        forest.add("x")
+        assert len(forest) == 1
+
+    def test_find_returns_consistent_representative(self):
+        forest = UnionFind(range(10))
+        for i in range(9):
+            forest.union(i, i + 1)
+        representative = forest.find(0)
+        assert all(forest.find(i) == representative for i in range(10))
+
+    def test_randomized_against_reference(self):
+        rng = random.Random(13)
+        items = list(range(100))
+        forest = UnionFind(items)
+        # Reference implementation: explicit group labels.
+        labels = {item: item for item in items}
+
+        def reference_union(a, b):
+            la, lb = labels[a], labels[b]
+            if la == lb:
+                return
+            for key, value in labels.items():
+                if value == lb:
+                    labels[key] = la
+
+        for _ in range(300):
+            a, b = rng.choice(items), rng.choice(items)
+            if rng.random() < 0.5:
+                forest.union(a, b)
+                reference_union(a, b)
+            else:
+                assert forest.connected(a, b) == (labels[a] == labels[b])
+        assert forest.num_sets == len(set(labels.values()))

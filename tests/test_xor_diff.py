@@ -1,0 +1,100 @@
+"""Tests for the XOR delta encoder."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.delta.xor_diff import XorDeltaEncoder, run_length_decode, run_length_encode
+from repro.exceptions import DeltaApplicationError
+
+
+class TestRunLength:
+    def test_roundtrip_simple(self):
+        data = b"\x00\x00\x01\x02\x00\x03"
+        assert run_length_decode(run_length_encode(data)) == data
+
+    def test_all_zero(self):
+        data = b"\x00" * 100
+        chunks = run_length_encode(data)
+        assert len(chunks) == 1
+        assert run_length_decode(chunks) == data
+
+    def test_no_zero(self):
+        data = bytes(range(1, 50))
+        assert run_length_decode(run_length_encode(data)) == data
+
+    def test_empty(self):
+        assert run_length_encode(b"") == []
+        assert run_length_decode([]) == b""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_random(self, seed):
+        rng = random.Random(seed)
+        data = bytes(rng.choice([0, 0, 0, rng.randint(1, 255)]) for _ in range(300))
+        assert run_length_decode(run_length_encode(data)) == data
+
+
+class TestXorEncoder:
+    def test_roundtrip_equal_lengths(self):
+        encoder = XorDeltaEncoder()
+        source = bytes(range(50))
+        target = bytes((b + 1) % 256 for b in source)
+        delta = encoder.diff(source, target)
+        assert encoder.apply(source, delta) == target
+
+    def test_symmetric_application(self):
+        encoder = XorDeltaEncoder()
+        source = b"hello world, this is version one"
+        target = b"hello world, this is version two"
+        delta = encoder.diff(source, target)
+        assert encoder.apply(source, delta) == target
+        assert encoder.apply(target, delta) == source
+
+    def test_roundtrip_different_lengths(self):
+        encoder = XorDeltaEncoder()
+        source = b"short"
+        target = b"a much longer payload than the source"
+        delta = encoder.diff(source, target)
+        assert encoder.apply(source, delta) == target
+        assert encoder.apply(target, delta) == source
+
+    def test_identical_payloads_cheap(self):
+        encoder = XorDeltaEncoder()
+        payload = b"x" * 1000
+        delta = encoder.diff(payload, payload)
+        # All-zero XOR collapses to a single run-length chunk.
+        assert delta.storage_cost <= encoder.CHUNK_HEADER_COST
+        assert delta.metadata["non_zero_bytes"] == 0
+
+    def test_similar_payloads_cheaper_than_dissimilar(self):
+        rng = random.Random(3)
+        encoder = XorDeltaEncoder()
+        base = bytes(rng.randint(0, 255) for _ in range(500))
+        similar = bytearray(base)
+        for index in rng.sample(range(500), 10):
+            similar[index] ^= 0xFF
+        dissimilar = bytes(rng.randint(0, 255) for _ in range(500))
+        assert (
+            encoder.diff(base, bytes(similar)).storage_cost
+            < encoder.diff(base, dissimilar).storage_cost
+        )
+
+    def test_delta_is_marked_symmetric(self):
+        delta = XorDeltaEncoder().diff(b"a", b"b")
+        assert delta.symmetric
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(DeltaApplicationError):
+            XorDeltaEncoder().diff("text", b"bytes")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_random(self, seed):
+        rng = random.Random(seed)
+        encoder = XorDeltaEncoder()
+        source = bytes(rng.randint(0, 255) for _ in range(rng.randint(0, 200)))
+        target = bytes(rng.randint(0, 255) for _ in range(rng.randint(0, 200)))
+        delta = encoder.diff(source, target)
+        assert encoder.apply(source, delta) == target
+        assert encoder.apply(target, delta) == source
