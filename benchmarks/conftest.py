@@ -20,6 +20,15 @@ if _SRC not in sys.path:
 
 from repro.datagen import all_scenarios, densely_connected  # noqa: E402
 
+_BENCH_DIR = os.path.abspath(os.path.dirname(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test in this directory ``slow`` so tier-1 skips them."""
+    for item in items:
+        if os.path.abspath(str(item.fspath)).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.slow)
+
 
 def bench_scale() -> float:
     """Scale factor for the benchmark datasets."""

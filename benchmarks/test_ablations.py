@@ -23,7 +23,7 @@ from repro.algorithms.mst import minimum_storage_plan
 from repro.core import ProblemInstance
 from repro.datagen import SyntheticCostConfig, flat_history_graph, synthetic_costs
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 @pytest.fixture(scope="module")

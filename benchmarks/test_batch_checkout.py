@@ -1,0 +1,57 @@
+"""Benchmark: batch checkout vs. naive sequential checkout (LC/DC/BF).
+
+Builds repositories with real payloads whose histories mirror the LC, DC
+and BF evaluation scenarios, checks out every version both sequentially
+(no cache) and through the batch engine, and reports delta applications,
+recreation cost and wall-clock time for each serving strategy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.batch_bench import batch_benchmark_scenarios, batch_vs_sequential
+
+from benchmarks.conftest import bench_scale, print_series_table
+
+
+def test_batch_vs_sequential_checkout():
+    graphs = batch_benchmark_scenarios(scale=max(1.0, 4 * bench_scale()), seed=11)
+    rows = batch_vs_sequential(graphs, cache_size=64, seed=11)
+
+    table_rows = [
+        [
+            row["scenario"],
+            int(row["num_versions"]),
+            int(row["sequential_deltas"]),
+            int(row["batch_deltas"]),
+            f"{100 * row['delta_savings']:.1f}%",
+            f"{row['sequential_cost']:.0f}",
+            f"{row['batch_cost']:.0f}",
+            f"{1000 * row['sequential_seconds']:.1f}",
+            f"{1000 * row['batch_seconds']:.1f}",
+        ]
+        for row in rows
+    ]
+    print_series_table(
+        "Batch vs sequential checkout",
+        [
+            "scenario",
+            "versions",
+            "seq deltas",
+            "batch deltas",
+            "saved",
+            "seq cost",
+            "batch cost",
+            "seq ms",
+            "batch ms",
+        ],
+        table_rows,
+    )
+
+    assert {row["scenario"] for row in rows} == {"LC", "DC", "BF"}
+    for row in rows:
+        assert row["payload_mismatches"] == 0
+        assert row["batch_deltas"] <= row["sequential_deltas"]
+        assert row["batch_cost"] <= row["sequential_cost"] + 1e-6
+        # Every scenario has shared prefixes, so the engine must actually
+        # amortize — not merely tie.
+        assert row["batch_deltas"] < row["sequential_deltas"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import figure12_dataset_properties
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 def test_figure12_dataset_properties(scenario_datasets, benchmark):

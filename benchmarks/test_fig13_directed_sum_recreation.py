@@ -21,7 +21,7 @@ import pytest
 from repro.bench.experiments import figure13_directed_sum_recreation
 from repro.bench.harness import SweepSeries
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 @pytest.mark.parametrize("name", ["DC", "LC", "BF", "LF"])

@@ -13,7 +13,7 @@ import pytest
 from repro.bench.experiments import figure14_directed_max_recreation
 from repro.bench.harness import SweepSeries
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 @pytest.mark.parametrize("name", ["DC", "LF"])

@@ -15,7 +15,7 @@ from repro.bench.experiments import figure15_undirected
 from repro.bench.harness import SweepSeries
 from repro.datagen import bootstrap_forks, densely_connected, linear_chain
 
-from .conftest import bench_scale, print_series_table
+from benchmarks.conftest import bench_scale, print_series_table
 
 
 def _undirected_datasets():

@@ -14,7 +14,7 @@ import pytest
 
 from repro.bench.experiments import figure16_workload_aware
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 @pytest.mark.parametrize("name", ["DC", "LF"])

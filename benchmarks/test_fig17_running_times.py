@@ -15,7 +15,7 @@ import pytest
 
 from repro.bench.experiments import figure17_running_times
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 @pytest.mark.parametrize("name", ["DC", "LC"])

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import section52_vcs_comparison
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 def test_section52_vcs_comparison(scenario_datasets, benchmark):

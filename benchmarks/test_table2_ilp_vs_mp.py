@@ -18,7 +18,7 @@ from repro.algorithms.mp import minimum_feasible_threshold
 from repro.bench.experiments import table2_ilp_vs_mp
 from repro.datagen import densely_connected
 
-from .conftest import print_series_table
+from benchmarks.conftest import print_series_table
 
 
 def build_small_instance(num_versions: int, seed: int):

@@ -44,8 +44,15 @@ from .core import (
     solve,
 )
 from .exceptions import ReproError
+from .storage import (
+    BatchMaterializer,
+    BatchResult,
+    Repository,
+    StorageBackend,
+    open_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algorithms",
@@ -71,5 +78,10 @@ __all__ = [
     "VersionGraph",
     "solve",
     "ReproError",
+    "BatchMaterializer",
+    "BatchResult",
+    "Repository",
+    "StorageBackend",
+    "open_backend",
     "__version__",
 ]

@@ -3,10 +3,12 @@
 The :mod:`~repro.bench.experiments` module has one driver per table/figure of
 the paper's evaluation (see the E1–E8 index in DESIGN.md); the
 :mod:`~repro.bench.harness` module holds the shared sweep and formatting
-machinery.
+machinery; :mod:`~repro.bench.batch_bench` compares the batch checkout
+engine against naive sequential serving on the LC/DC/BF scenarios.
 """
 
-from . import experiments, export
+from . import batch_bench, experiments, export
+from .batch_bench import batch_vs_sequential, build_repository_from_graph
 from .harness import (
     SweepPoint,
     SweepSeries,
@@ -20,8 +22,11 @@ from .harness import (
 )
 
 __all__ = [
+    "batch_bench",
     "experiments",
     "export",
+    "batch_vs_sequential",
+    "build_repository_from_graph",
     "SweepPoint",
     "SweepSeries",
     "budget_grid",

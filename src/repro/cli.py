@@ -6,10 +6,12 @@ surface as a console entry point operating on a directory-backed
 repository::
 
     python -m repro init        myrepo
+    python -m repro init        myrepo --backend zip://objects
     python -m repro commit      myrepo data.csv -m "nightly export"
     python -m repro log         myrepo
     python -m repro branch      myrepo experiments
     python -m repro checkout    myrepo v3 -o restored.csv
+    python -m repro checkout    myrepo v1 v2 v3 --batch -o outdir
     python -m repro stats       myrepo
     python -m repro repack      myrepo --problem 3 --threshold-factor 1.5
     python -m repro solve       myrepo --problem 6 --threshold 2e6
@@ -18,6 +20,13 @@ The repository state (version graph, branch heads and the object-id mapping)
 is persisted as JSON next to the object store, so successive invocations
 operate on the same history.  Payloads are treated as line-oriented text
 files, matching the line-diff encoder the prototype uses by default.
+
+``init --backend`` selects where object bytes live (``file://PATH``, or
+``zip://PATH`` for zlib-compressed objects; ``memory://`` is rejected
+because CLI invocations are separate processes); relative paths are
+resolved inside the repository directory and the chosen spec is remembered
+in the state file.  ``checkout --batch`` serves many versions through the
+batch engine, replaying shared delta-chain prefixes only once.
 """
 
 from __future__ import annotations
@@ -39,6 +48,32 @@ __all__ = ["main", "build_parser", "load_repository", "save_repository"]
 
 _STATE_FILE = "repro_state.json"
 _OBJECTS_DIR = "objects"
+_DEFAULT_BACKEND = f"file://{_OBJECTS_DIR}"
+
+
+def _resolve_backend_spec(spec: str, directory: str) -> str:
+    """Anchor relative ``file://`` / ``zip://`` paths inside the repository."""
+    if "://" not in spec:
+        spec = f"file://{spec}"
+    scheme, _, path = spec.partition("://")
+    if path and not os.path.isabs(path):
+        path = os.path.join(directory, path)
+    return f"{scheme}://{path}"
+
+
+def _require_persistent(backend_spec: str) -> str:
+    """Reject backends that cannot outlive a CLI process.
+
+    Every CLI invocation is a separate process: a memory-backed store would
+    lose the object bytes while ``repro_state.json`` keeps claiming they
+    exist, silently corrupting the repository.
+    """
+    if backend_spec.partition("://")[0] == "memory":
+        raise ReproError(
+            "memory:// cannot back a persisted CLI repository; "
+            "use file://PATH or zip://PATH"
+        )
+    return backend_spec
 
 
 # --------------------------------------------------------------------- #
@@ -46,7 +81,19 @@ _OBJECTS_DIR = "objects"
 # --------------------------------------------------------------------- #
 def save_repository(repo: Repository, directory: str) -> None:
     """Persist the repository's metadata (graph, branches, object ids)."""
+    backend_spec = getattr(repo, "backend_spec", None)
+    if backend_spec is None:
+        # Fall back to the store's actual spec (not the CLI default) so a
+        # hand-built Repository saved through this helper reloads against
+        # the backend that really holds its objects.  The spec may carry a
+        # cwd-relative path; load_repository resolves relative paths
+        # against the repository directory, so absolutize it here.
+        scheme, _, path = repo.store.backend.spec().partition("://")
+        if path and not os.path.isabs(path):
+            path = os.path.abspath(path)
+        backend_spec = f"{scheme}://{path}"
     state = {
+        "backend": _require_persistent(backend_spec),
         "counter": repo._counter,
         "current_branch": repo.current_branch,
         "branches": {
@@ -79,11 +126,13 @@ def load_repository(directory: str) -> Repository:
     with open(state_path, "r", encoding="utf-8") as handle:
         state = json.load(handle)
 
+    backend_spec = state.get("backend", _DEFAULT_BACKEND)
     repo = Repository(
         encoder=LineDiffEncoder(),
-        directory=os.path.join(directory, _OBJECTS_DIR),
+        backend=_resolve_backend_spec(backend_spec, directory),
         delta_against_parent=True,
     )
+    repo.backend_spec = backend_spec
     # Rebuild the version graph and object mapping without re-encoding.
     from .core.version import Version
 
@@ -104,11 +153,14 @@ def load_repository(directory: str) -> Repository:
     return repo
 
 
-def _init_repository(directory: str) -> Repository:
+def _init_repository(directory: str, backend_spec: str = _DEFAULT_BACKEND) -> Repository:
+    _require_persistent(backend_spec)
     os.makedirs(directory, exist_ok=True)
     repo = Repository(
-        encoder=LineDiffEncoder(), directory=os.path.join(directory, _OBJECTS_DIR)
+        encoder=LineDiffEncoder(),
+        backend=_resolve_backend_spec(backend_spec, directory),
     )
+    repo.backend_spec = backend_spec
     save_repository(repo, directory)
     return repo
 
@@ -117,8 +169,11 @@ def _init_repository(directory: str) -> Repository:
 # sub-commands
 # --------------------------------------------------------------------- #
 def _cmd_init(args: argparse.Namespace) -> int:
-    _init_repository(args.repository)
-    print(f"initialized empty repro repository in {args.repository}")
+    repo = _init_repository(args.repository, args.backend)
+    print(
+        f"initialized empty repro repository in {args.repository} "
+        f"(backend {repo.backend_spec})"
+    )
     return 0
 
 
@@ -137,18 +192,64 @@ def _cmd_commit(args: argparse.Namespace) -> int:
 
 def _cmd_checkout(args: argparse.Namespace) -> int:
     repo = load_repository(args.repository)
-    result = repo.checkout(args.version)
+    if args.batch or len(args.versions) > 1:
+        return _batch_checkout(repo, args)
+    version = args.versions[0]
+    result = repo.checkout(version)
     text = "\n".join(result.payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(
-            f"checked out {args.version} to {args.output} "
+            f"checked out {version} to {args.output} "
             f"(chain length {result.chain_length}, "
             f"recreation cost {result.recreation_cost:.0f})"
         )
     else:
         print(text)
+    return 0
+
+
+def _batch_checkout(repo: Repository, args: argparse.Namespace) -> int:
+    if args.output and os.path.exists(args.output) and not os.path.isdir(args.output):
+        raise ReproError(
+            f"batch checkout writes one file per version: {args.output!r} "
+            "exists and is not a directory"
+        )
+    result = repo.checkout_many(args.versions)
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        for vid, item in result.items.items():
+            path = os.path.join(args.output, f"{vid}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(item.payload) + "\n")
+    else:
+        # Mirror single-version checkout: payloads go to stdout, one block
+        # per version behind a '### <id>' header.
+        for vid, item in result.items.items():
+            print(f"### {vid}")
+            print("\n".join(item.payload))
+        return 0
+    rows = [
+        [
+            vid,
+            item.chain_length,
+            item.deltas_applied,
+            f"{item.recreation_cost:.0f}",
+            f"{item.predicted_cost:.0f}",
+        ]
+        for vid, item in result.items.items()
+    ]
+    print(format_table(["version", "chain", "deltas applied", "paid", "predicted"], rows))
+    summary = result.summary()
+    print(
+        f"batch: {result.deltas_applied}/{result.naive_delta_applications} delta "
+        f"applications, paid {summary['recreation_cost_paid']:.0f} of "
+        f"{summary['recreation_cost_predicted']:.0f} predicted "
+        f"(saved {summary['recreation_cost_saved']:.0f})"
+    )
+    if args.output:
+        print(f"wrote {len(result.items)} files to {args.output}")
     return 0
 
 
@@ -286,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     init = sub.add_parser("init", help="create a new repository")
     init.add_argument("repository")
+    init.add_argument(
+        "--backend",
+        default=_DEFAULT_BACKEND,
+        help="storage backend spec: file://PATH or zip://PATH "
+        "(relative paths live inside the repository directory)",
+    )
     init.set_defaults(handler=_cmd_init)
 
     commit = sub.add_parser("commit", help="commit a text/CSV file as a new version")
@@ -298,10 +405,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commit.set_defaults(handler=_cmd_commit)
 
-    checkout = sub.add_parser("checkout", help="reconstruct a version")
+    checkout = sub.add_parser("checkout", help="reconstruct one or more versions")
     checkout.add_argument("repository")
-    checkout.add_argument("version")
-    checkout.add_argument("-o", "--output", default=None)
+    checkout.add_argument("versions", nargs="+", metavar="version")
+    checkout.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output file (single version) or directory (--batch; also "
+        "enables the per-version cost report — without it payloads are "
+        "printed to stdout)",
+    )
+    checkout.add_argument(
+        "--batch",
+        action="store_true",
+        help="serve all requested versions through the batch engine, "
+        "replaying shared delta-chain prefixes once",
+    )
     checkout.set_defaults(handler=_cmd_checkout)
 
     log = sub.add_parser("log", help="show the history of a version/branch head")
@@ -370,6 +490,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped to `head`); silence the flush on
+        # interpreter shutdown and exit like a well-behaved pipe citizen.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through __main__.py

@@ -1,22 +1,45 @@
 """The prototype version-management system (DataHub-style).
 
+* :mod:`~repro.storage.backends` — pluggable keyed blob stores
+  (``memory://``, ``file://``, ``zip://``) the object store delegates to;
 * :mod:`~repro.storage.objects` — content-addressed store for full objects
   and deltas;
 * :mod:`~repro.storage.materializer` — reconstructs payloads by replaying
   delta chains;
+* :mod:`~repro.storage.batch` — batch checkout engine that amortizes shared
+  chain prefixes across many concurrent checkouts;
 * :mod:`~repro.storage.repository` — commit / checkout / branch / merge,
   plus the bridge to the optimization layer (cost-model measurement and
   plan-driven repacking);
 * :mod:`~repro.storage.planner` — applies a storage plan to the object
-  store.
+  store (streaming, bounded-memory).
 """
 
-from .materializer import MaterializationResult, Materializer
+from .backends import (
+    BackendSpecError,
+    CompressedFilesystemBackend,
+    FilesystemBackend,
+    MemoryBackend,
+    StorageBackend,
+    open_backend,
+)
+from .batch import BatchItem, BatchMaterializer, BatchResult
+from .materializer import LRUPayloadCache, MaterializationResult, Materializer
 from .objects import ObjectStore, StoredObject
 from .planner import apply_plan, plan_order
 from .repository import CheckoutStats, Repository
 
 __all__ = [
+    "BackendSpecError",
+    "CompressedFilesystemBackend",
+    "FilesystemBackend",
+    "MemoryBackend",
+    "StorageBackend",
+    "open_backend",
+    "BatchItem",
+    "BatchMaterializer",
+    "BatchResult",
+    "LRUPayloadCache",
     "MaterializationResult",
     "Materializer",
     "ObjectStore",

@@ -1,0 +1,269 @@
+"""Batch checkout: materializing many versions while paying shared work once.
+
+The paper's recreation cost model (the Φ matrix) charges every checkout the
+full cost of its delta chain.  A serving system that receives *batches* of
+checkouts — a dashboard rebuilding every branch head, a CI farm checking out
+fifty snapshots of the same lineage — can do much better: chains that share
+a prefix only need that prefix replayed once.
+
+:class:`BatchMaterializer` implements that amortization.  Requests are
+ordered so that chains sharing a prefix are processed back to back (sorting
+by the chain's object-id tuple puts every prefix immediately before its
+extensions), and every intermediate payload is parked in a bounded
+:class:`~repro.storage.materializer.LRUPayloadCache`.  Each request then
+only pays for the suffix below its deepest cached ancestor.
+
+The result reports, per version and in aggregate, the recreation cost
+*actually paid* next to the chain cost the storage plan *predicts* (the Φ
+chain sum), so experiments can measure how far real serving sits below the
+model the optimizers plan against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from ..delta.base import DeltaEncoder
+from ..exceptions import ObjectNotFoundError
+from .materializer import LRUPayloadCache, replay_chain
+from .objects import ObjectStore
+
+__all__ = ["BatchMaterializer", "BatchItem", "BatchResult"]
+
+
+@dataclass(frozen=True)
+class _ChainLink:
+    """Per-object chain metadata retained across a batch (never the object)."""
+
+    base_id: str | None
+    phi_contribution: float
+
+
+@dataclass
+class BatchItem:
+    """One materialized request of a batch.
+
+    ``predicted_cost`` is the full Φ chain sum the storage plan models for
+    this version; ``recreation_cost`` is what this request actually paid
+    after cache reuse (the two coincide on a cold cache).
+    """
+
+    key: Hashable
+    object_id: str
+    payload: Any
+    chain_length: int
+    predicted_cost: float
+    recreation_cost: float
+    deltas_applied: int
+    cache_hits: int
+
+    @property
+    def amortized(self) -> bool:
+        """True when cache reuse made this request cheaper than predicted."""
+        return self.recreation_cost < self.predicted_cost
+
+
+@dataclass
+class BatchResult:
+    """Per-request items plus the aggregate accounting of a batch."""
+
+    items: dict[Hashable, BatchItem] = field(default_factory=dict)
+
+    @property
+    def total_predicted_cost(self) -> float:
+        """Σ Φ chain costs — what serving each request alone would pay."""
+        return float(sum(item.predicted_cost for item in self.items.values()))
+
+    @property
+    def total_recreation_cost(self) -> float:
+        """Recreation cost the batch actually paid."""
+        return float(sum(item.recreation_cost for item in self.items.values()))
+
+    @property
+    def deltas_applied(self) -> int:
+        """Delta applications actually performed across the batch."""
+        return sum(item.deltas_applied for item in self.items.values())
+
+    @property
+    def naive_delta_applications(self) -> int:
+        """Delta applications sequential, cache-less checkouts would perform."""
+        return sum(item.chain_length for item in self.items.values())
+
+    @property
+    def cost_savings(self) -> float:
+        """Recreation cost avoided relative to the Φ prediction."""
+        return self.total_predicted_cost - self.total_recreation_cost
+
+    def payloads(self) -> dict[Hashable, Any]:
+        """Mapping of request key to materialized payload."""
+        return {key: item.payload for key, item in self.items.items()}
+
+    def summary(self) -> dict[str, float]:
+        """Flat aggregate numbers, ready for benchmark tables."""
+        return {
+            "num_requests": float(len(self.items)),
+            "deltas_applied": float(self.deltas_applied),
+            "naive_delta_applications": float(self.naive_delta_applications),
+            "recreation_cost_paid": self.total_recreation_cost,
+            "recreation_cost_predicted": self.total_predicted_cost,
+            "recreation_cost_saved": self.cost_savings,
+        }
+
+
+class BatchMaterializer:
+    """Materializes many objects at once, replaying shared prefixes once.
+
+    The cache persists across :meth:`materialize_many` calls, so a serving
+    loop keeps benefiting from earlier batches; call :meth:`clear_cache`
+    between measurements that must start cold.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        encoder: DeltaEncoder,
+        *,
+        cache_size: int = 64,
+    ) -> None:
+        self.store = store
+        self.encoder = encoder
+        self.cache = LRUPayloadCache(cache_size)
+        # Chain metadata is content-addressed and immutable, so it is
+        # memoized for the materializer's lifetime: repeated materialize()
+        # calls walking the same chains (the re-packer's access pattern)
+        # read each object's metadata from the backend once, not per call.
+        self._chain_info: dict[str, _ChainLink] = {}
+
+    def materialize_many(
+        self, requests: Sequence[tuple[Hashable, str]] | Sequence[str]
+    ) -> BatchResult:
+        """Materialize every requested object.
+
+        ``requests`` is either a sequence of object ids or of ``(key,
+        object_id)`` pairs; keys name the items in the result (version ids,
+        in the repository's case) and default to the object id itself.
+        Duplicate object ids are materialized once and shared.
+        """
+        normalized: list[tuple[Hashable, str]] = [
+            request if isinstance(request, tuple) else (request, request)
+            for request in requests
+        ]
+
+        # Resolve every distinct chain up front, then order the work so that
+        # chains sharing a prefix run back to back: sorting by the chain's
+        # id tuple places each prefix immediately before its extensions,
+        # which is exactly the order a bounded LRU exploits best.  Only
+        # per-object *metadata* (base id + Φ contribution) is retained
+        # across batches; the objects themselves are fetched transiently
+        # during replay, so peak memory stays bounded by the payload cache
+        # no matter how large the batch is.
+        chains: dict[str, tuple[str, ...]] = {}
+        for _, object_id in normalized:
+            if object_id not in chains:
+                chains[object_id] = self._resolve_chain(object_id)
+        schedule = sorted(chains, key=lambda oid: chains[oid])
+
+        materialized: dict[str, BatchItem] = {}
+        for object_id in schedule:
+            materialized[object_id] = self._materialize_chain(
+                object_id, chains[object_id]
+            )
+
+        # Distinct keys can resolve to the same object (content addressing
+        # deduplicates identical payloads): the single materialization's cost
+        # is charged to the first item only, so the aggregate "actually paid"
+        # numbers stay honest; later copies are pure cache hits.  A repeated
+        # key keeps its first (charged) item rather than being overwritten
+        # by a zeroed copy.
+        result = BatchResult()
+        charged: set[str] = set()
+        for key, object_id in normalized:
+            if key in result.items:
+                continue
+            base = materialized[object_id]
+            first = object_id not in charged
+            charged.add(object_id)
+            result.items[key] = BatchItem(
+                key=key,
+                object_id=object_id,
+                payload=base.payload,
+                chain_length=base.chain_length,
+                predicted_cost=base.predicted_cost,
+                recreation_cost=base.recreation_cost if first else 0.0,
+                deltas_applied=base.deltas_applied if first else 0,
+                cache_hits=base.cache_hits if first else 1,
+            )
+        return result
+
+    def materialize(self, object_id: str) -> BatchItem:
+        """Materialize a single object through the shared batch cache.
+
+        Useful for serving loops (and the re-packer) that interleave single
+        reads with batches but still want prefix amortization.
+        """
+        return self._materialize_chain(object_id, self._resolve_chain(object_id))
+
+    def clear_cache(self) -> None:
+        """Drop every cached payload and chain memo (start the next batch cold)."""
+        self.cache.clear()
+        self._chain_info.clear()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _resolve_chain(self, object_id: str) -> tuple[str, ...]:
+        """The root-first id chain of ``object_id``.
+
+        ``_chain_info`` memoizes each visited object's base id and Φ
+        contribution, so shared prefixes are walked (and their objects
+        read) once no matter how many requests traverse them — and only the
+        few-bytes metadata is retained, never the objects themselves.
+        """
+        info = self._chain_info
+        reversed_chain: list[str] = []
+        seen: set[str] = set()
+        current_id: str | None = object_id
+        while current_id is not None:
+            link = info.get(current_id)
+            if link is None:
+                obj = self.store.get(current_id)
+                link = _ChainLink(
+                    base_id=obj.base_id if obj.is_delta else None,
+                    phi_contribution=(
+                        obj.payload.recreation_cost
+                        if obj.is_delta
+                        else obj.storage_cost()
+                    ),
+                )
+                info[current_id] = link
+            reversed_chain.append(current_id)
+            if link.base_id is not None:
+                if current_id in seen:
+                    raise ObjectNotFoundError(
+                        f"delta chain of {object_id!r} contains a cycle"
+                    )
+                seen.add(current_id)
+            current_id = link.base_id
+        reversed_chain.reverse()
+        return tuple(reversed_chain)
+
+    def _materialize_chain(
+        self, object_id: str, chain_ids: tuple[str, ...]
+    ) -> BatchItem:
+        predicted = sum(
+            self._chain_info[oid].phi_contribution for oid in chain_ids
+        )
+        payload, paid, deltas_applied, cache_hits = replay_chain(
+            chain_ids, self.store.get, self.cache, self.encoder
+        )
+        return BatchItem(
+            key=object_id,
+            object_id=object_id,
+            payload=payload,
+            chain_length=len(chain_ids) - 1,
+            predicted_cost=predicted,
+            recreation_cost=paid,
+            deltas_applied=deltas_applied,
+            cache_hits=cache_hits,
+        )

@@ -7,17 +7,114 @@ hop.  :class:`Materializer` performs that walk against an
 payloads (useful when many checkouts share a prefix of the chain) and
 keeping an account of the recreation cost it actually paid — the quantity
 the paper's Φ matrix models.
+
+:class:`LRUPayloadCache` is the bounded cache both this module and the
+batch engine (:mod:`repro.storage.batch`) key intermediate payloads on.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Callable, Sequence
 
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
 from .objects import ObjectStore, StoredObject
 
-__all__ = ["Materializer", "MaterializationResult"]
+__all__ = ["Materializer", "MaterializationResult", "LRUPayloadCache", "replay_chain"]
+
+_MISS = object()
+
+
+class LRUPayloadCache:
+    """A bounded least-recently-used cache of object-id → payload.
+
+    ``capacity <= 0`` disables the cache entirely (every lookup misses,
+    every insert is dropped), which lets callers share one code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Any:
+        """The cached payload for ``key``, or the module-level miss sentinel."""
+        if self.capacity <= 0 or key not in self._entries:
+            self.misses += 1
+            return _MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return self._entries[key]
+
+    def put(self, key: str, payload: Any) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return self.capacity > 0 and key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        """True when ``value`` is the sentinel returned on a cache miss."""
+        return value is _MISS
+
+
+def replay_chain(
+    chain_ids: Sequence[str],
+    fetch: Callable[[str], StoredObject],
+    cache: LRUPayloadCache,
+    encoder: DeltaEncoder,
+) -> tuple[Any, float, int, int]:
+    """Replay one root-first full-object/delta chain through a payload cache.
+
+    Starts from the deepest cached ancestor and applies the remaining
+    deltas, parking every intermediate payload in ``cache``.  Objects are
+    pulled through ``fetch`` one at a time and only for the replayed
+    suffix, so a caller's peak memory stays at one :class:`StoredObject`
+    plus whatever the payload cache holds.  Returns ``(payload, cost_paid,
+    deltas_applied, cache_hits)`` — the single source of truth for chain
+    replay shared by :class:`Materializer` and the batch engine.
+    """
+    start_index = 0
+    payload: Any = None
+    cache_hits = 0
+    for index in range(len(chain_ids) - 1, -1, -1):
+        cached = cache.get(chain_ids[index])
+        if not LRUPayloadCache.is_miss(cached):
+            payload = cached
+            start_index = index + 1
+            cache_hits += 1
+            break
+
+    cost_paid = 0.0
+    deltas_applied = 0
+    for index in range(start_index, len(chain_ids)):
+        obj = fetch(chain_ids[index])
+        if not obj.is_delta:
+            payload = obj.payload
+            cost_paid += obj.storage_cost()
+        else:
+            if payload is None:
+                raise ObjectNotFoundError(
+                    f"delta object {obj.object_id!r} has no materialized base"
+                )
+            payload = encoder.apply(payload, obj.payload)
+            cost_paid += obj.payload.recreation_cost
+            deltas_applied += 1
+        cache.put(obj.object_id, payload)
+    return payload, cost_paid, deltas_applied, cache_hits
 
 
 class MaterializationResult:
@@ -47,7 +144,7 @@ class Materializer:
         self.store = store
         self.encoder = encoder
         self.cache_size = int(cache_size)
-        self._cache: dict[str, Any] = {}
+        self._cache = LRUPayloadCache(self.cache_size)
 
     def materialize(self, object_id: str) -> MaterializationResult:
         """Reconstruct the payload stored under ``object_id``.
@@ -57,50 +154,16 @@ class Materializer:
         the way — i.e. exactly the chain sum the storage plan predicted.
         """
         chain = self.store.delta_chain(object_id)
-        cache_hits = 0
-
-        # Start from the deepest cached prefix if caching is enabled.
-        start_index = 0
-        payload: Any = None
-        if self.cache_size > 0:
-            for index in range(len(chain) - 1, -1, -1):
-                cached = self._cache.get(chain[index].object_id)
-                if cached is not None:
-                    payload = cached
-                    start_index = index + 1
-                    cache_hits += 1
-                    break
-
-        recreation_cost = 0.0
-        for index in range(start_index, len(chain)):
-            obj = chain[index]
-            if not obj.is_delta:
-                payload = obj.payload
-                recreation_cost += obj.storage_cost()
-            else:
-                if payload is None:
-                    raise ObjectNotFoundError(
-                        f"delta object {obj.object_id!r} has no materialized base"
-                    )
-                payload = self.encoder.apply(payload, obj.payload)
-                recreation_cost += obj.payload.recreation_cost
-            self._remember(obj, payload)
-
+        by_id = {obj.object_id: obj for obj in chain}
+        payload, recreation_cost, _, cache_hits = replay_chain(
+            [obj.object_id for obj in chain], by_id.__getitem__, self._cache, self.encoder
+        )
         return MaterializationResult(
             payload=payload,
             recreation_cost=recreation_cost,
             chain_length=len(chain) - 1,
             cache_hits=cache_hits,
         )
-
-    def _remember(self, obj: StoredObject, payload: Any) -> None:
-        if self.cache_size <= 0:
-            return
-        self._cache[obj.object_id] = payload
-        while len(self._cache) > self.cache_size:
-            # Evict the oldest entry (dict preserves insertion order).
-            oldest = next(iter(self._cache))
-            del self._cache[oldest]
 
     def clear_cache(self) -> None:
         """Drop every cached payload."""

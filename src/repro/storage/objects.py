@@ -8,22 +8,23 @@ The prototype version manager persists two kinds of objects:
 
 Objects are addressed by a SHA-256 digest of their serialized form, so
 identical payloads are automatically deduplicated (the same mechanism Git
-and the archival systems surveyed in Section 6 rely on).  The store is
-in-memory by default but can be given a directory to persist objects to
-disk; both modes expose identical behavior, which keeps the repository and
-planner code independent of where bytes actually live.
+and the archival systems surveyed in Section 6 rely on).  Where the bytes
+actually live is delegated to a :class:`~repro.storage.backends.StorageBackend`
+(in-memory by default; plain or compressed files on disk via ``file://`` /
+``zip://`` specs), which keeps the repository and planner code independent
+of the physical medium.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..delta.base import Delta, payload_size
 from ..exceptions import ObjectNotFoundError
+from .backends import FilesystemBackend, StorageBackend, open_backend
 
 __all__ = ["StoredObject", "ObjectStore"]
 
@@ -57,14 +58,29 @@ class StoredObject:
 
 
 class ObjectStore:
-    """A content-addressed store for full and delta objects."""
+    """A content-addressed store for full and delta objects.
 
-    def __init__(self, directory: str | None = None) -> None:
-        self._objects: dict[str, StoredObject] = {}
-        self._directory = directory
+    ``backend`` accepts a :class:`~repro.storage.backends.StorageBackend`
+    instance or a spec string (``memory://``, ``file://PATH``,
+    ``zip://PATH``); ``directory`` is legacy sugar for ``file://directory``.
+    """
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        *,
+        backend: str | StorageBackend | None = None,
+    ) -> None:
+        if directory is not None and backend is not None:
+            raise ValueError("pass either 'directory' or 'backend', not both")
         if directory is not None:
-            os.makedirs(directory, exist_ok=True)
-            self._load_from_disk()
+            backend = FilesystemBackend(directory)
+        self.backend = open_backend(backend)
+        # Lazy id -> storage-cost index: objects are content-addressed, so a
+        # cost never changes once stored; maintaining the index on writes
+        # keeps total_storage_cost() from re-reading (and, for zip://,
+        # re-inflating) the whole backend on every call.
+        self._cost_index: dict[str, float] | None = None
 
     # ------------------------------------------------------------------ #
     # writing
@@ -72,16 +88,16 @@ class ObjectStore:
     def put_full(self, payload: Any) -> str:
         """Store a full payload; return its object id."""
         object_id = self._digest(("full", payload))
-        if object_id not in self._objects:
+        if object_id not in self.backend:
             self._store(StoredObject(object_id=object_id, kind="full", payload=payload))
         return object_id
 
     def put_delta(self, base_id: str, delta: Delta) -> str:
         """Store a delta applying to ``base_id``; return its object id."""
-        if base_id not in self._objects:
+        if base_id not in self.backend:
             raise ObjectNotFoundError(base_id)
         object_id = self._digest(("delta", base_id, delta.operations))
-        if object_id not in self._objects:
+        if object_id not in self.backend:
             self._store(
                 StoredObject(
                     object_id=object_id, kind="delta", payload=delta, base_id=base_id
@@ -91,11 +107,9 @@ class ObjectStore:
 
     def remove(self, object_id: str) -> None:
         """Remove an object (no error if absent).  Used by the re-packer."""
-        self._objects.pop(object_id, None)
-        if self._directory is not None:
-            path = self._path(object_id)
-            if os.path.exists(path):
-                os.remove(path)
+        self.backend.delete(object_id)
+        if self._cost_index is not None:
+            self._cost_index.pop(object_id, None)
 
     # ------------------------------------------------------------------ #
     # reading
@@ -103,22 +117,40 @@ class ObjectStore:
     def get(self, object_id: str) -> StoredObject:
         """Fetch an object by id."""
         try:
-            return self._objects[object_id]
+            return self.backend.get(object_id)
         except KeyError:
-            raise ObjectNotFoundError(object_id) from None
+            raise ObjectNotFoundError(
+                f"object {object_id!r} is not in the store (backend "
+                f"{self.backend.spec()!r})"
+            ) from None
 
     def __contains__(self, object_id: str) -> bool:
-        return object_id in self._objects
+        return object_id in self.backend
 
     def __len__(self) -> int:
-        return len(self._objects)
+        return len(self.backend)
 
     def __iter__(self) -> Iterator[StoredObject]:
-        return iter(list(self._objects.values()))
+        return (self.backend.get(key) for key in list(self.backend.keys()))
+
+    def object_ids(self) -> list[str]:
+        """Ids of every object currently stored."""
+        return list(self.backend.keys())
 
     def total_storage_cost(self) -> float:
         """Sum of the storage costs of every object currently stored."""
-        return float(sum(obj.storage_cost() for obj in self._objects.values()))
+        # Reconcile against the backend's key set so writes/removals made
+        # through another store sharing the same backend are picked up:
+        # listing keys is cheap, and under content addressing a present key
+        # can never change cost, so only added/removed ids need reads.
+        keys = set(self.backend.keys())
+        if self._cost_index is None:
+            self._cost_index = {}
+        for object_id in [oid for oid in self._cost_index if oid not in keys]:
+            del self._cost_index[object_id]
+        for object_id in keys - self._cost_index.keys():
+            self._cost_index[object_id] = self.backend.get(object_id).storage_cost()
+        return float(sum(self._cost_index.values()))
 
     def delta_chain(self, object_id: str) -> list[StoredObject]:
         """The chain of objects needed to materialize ``object_id``.
@@ -151,20 +183,6 @@ class ObjectStore:
         return hashlib.sha256(data).hexdigest()
 
     def _store(self, obj: StoredObject) -> None:
-        self._objects[obj.object_id] = obj
-        if self._directory is not None:
-            with open(self._path(obj.object_id), "wb") as handle:
-                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
-
-    def _path(self, object_id: str) -> str:
-        assert self._directory is not None
-        return os.path.join(self._directory, f"{object_id}.obj")
-
-    def _load_from_disk(self) -> None:
-        assert self._directory is not None
-        for name in os.listdir(self._directory):
-            if not name.endswith(".obj"):
-                continue
-            with open(os.path.join(self._directory, name), "rb") as handle:
-                obj: StoredObject = pickle.load(handle)
-            self._objects[obj.object_id] = obj
+        self.backend.put(obj.object_id, obj)
+        if self._cost_index is not None:
+            self._cost_index[obj.object_id] = obj.storage_cost()

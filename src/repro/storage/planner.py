@@ -6,16 +6,24 @@ store: every version is re-encoded according to the plan (full object or a
 delta against its plan parent), unreferenced objects are dropped, and a
 before/after report is produced so experiments can compare the predicted
 costs of a plan with the costs it realizes on actual payloads.
+
+Re-encoding streams: versions are rewritten in parents-before-children
+order while payloads are read from the *old* encoding through a bounded
+:class:`~repro.storage.batch.BatchMaterializer` cache, so repacking never
+holds every payload of the repository in memory at once — the property that
+lets the re-packer run against repositories larger than RAM, exactly like
+the archival repacking jobs surveyed in the paper's Section 6.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from ..core.instance import ROOT
 from ..core.storage_plan import StoragePlan
 from ..core.version import VersionID
 from ..exceptions import InvalidStoragePlanError
+from .batch import BatchMaterializer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .repository import Repository
@@ -44,11 +52,18 @@ def plan_order(plan: StoragePlan) -> list[VersionID]:
     return order
 
 
-def apply_plan(repository: "Repository", plan: StoragePlan) -> dict[str, float]:
+def apply_plan(
+    repository: "Repository",
+    plan: StoragePlan,
+    *,
+    payload_cache_size: int = 64,
+) -> dict[str, float]:
     """Re-encode ``repository`` according to ``plan``.
 
     Returns a report with the storage cost before and after repacking, the
     number of materialized versions, and the number of delta objects.
+    ``payload_cache_size`` bounds how many old-encoding payloads are kept
+    in memory while streaming through the plan.
     """
     for vid in repository.graph.version_ids:
         if vid not in plan:
@@ -58,25 +73,29 @@ def apply_plan(repository: "Repository", plan: StoragePlan) -> dict[str, float]:
 
     before = repository.total_storage_cost()
 
-    # Materialize every payload first (through the existing encoding), so the
-    # re-encoding does not depend on the order objects are rewritten in.
-    payloads: dict[VersionID, Any] = {
-        vid: repository.checkout(vid, record_stats=False).payload
-        for vid in repository.graph.version_ids
+    old_object_of = {
+        vid: repository.object_id_of(vid) for vid in repository.graph.version_ids
     }
+    old_objects = set(old_object_of.values())
 
-    old_objects = {
-        repository.object_id_of(vid) for vid in repository.graph.version_ids
-    }
+    # Payloads are content — independent of how they are encoded — so the
+    # old encoding can be read lazily while new objects are written.  The
+    # bounded cache makes consecutive reads along shared old chains cheap
+    # without ever pinning the whole repository in memory.
+    old_reader = BatchMaterializer(
+        repository.store, repository.encoder, cache_size=payload_cache_size
+    )
 
     new_objects: dict[VersionID, str] = {}
     num_deltas = 0
     for vid in plan_order(plan):
+        payload = old_reader.materialize(old_object_of[vid]).payload
         parent = plan.parent(vid)
         if parent is ROOT:
-            new_objects[vid] = repository.store.put_full(payloads[vid])
+            new_objects[vid] = repository.store.put_full(payload)
             continue
-        delta = repository.encoder.diff(payloads[parent], payloads[vid])
+        parent_payload = old_reader.materialize(old_object_of[parent]).payload
+        delta = repository.encoder.diff(parent_payload, payload)
         new_objects[vid] = repository.store.put_delta(new_objects[parent], delta)
         num_deltas += 1
 
@@ -93,6 +112,7 @@ def apply_plan(repository: "Repository", plan: StoragePlan) -> dict[str, float]:
             repository.store.remove(object_id)
 
     repository.materializer.clear_cache()
+    repository.batch_materializer.clear_cache()
     after = repository.total_storage_cost()
     return {
         "storage_before": before,

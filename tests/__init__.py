@@ -1,0 +1,6 @@
+"""Test package for repro.
+
+Making ``tests`` a package lets test modules import the shared instance
+builders with a plain absolute import (``from tests.helpers import ...``)
+regardless of how pytest was invoked.
+"""

@@ -9,93 +9,34 @@ modules:
   costs;
 * ``small_lc`` / ``small_dc`` / ``small_bf`` — scaled-down versions of the
   evaluation scenarios;
-* ``random_instance`` — a parameterizable random instance factory used by
-  cross-checking tests.
+* ``random_instance_factory`` — a parameterizable random instance factory
+  used by cross-checking tests.
+
+The builder functions themselves live in :mod:`tests.helpers` so test
+modules can import them directly (``from tests.helpers import ...``)
+without relying on relative imports into a conftest.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import CostModel, ProblemInstance, Version
-from repro.datagen import (
-    SyntheticCostConfig,
-    bootstrap_forks,
-    densely_connected,
-    flat_history_graph,
-    linear_chain,
-    synthetic_costs,
+from repro.datagen import bootstrap_forks, densely_connected, linear_chain
+
+from tests.helpers import (
+    build_chain_instance,
+    build_figure1_instance,
+    build_random_instance,
 )
 
 
-def build_figure1_instance() -> ProblemInstance:
-    """The five-version example of Figures 1 and 2 of the paper."""
-    model = CostModel(directed=True, phi_equals_delta=False)
-    materialization = {
-        "V1": (10000, 10000),
-        "V2": (10100, 10100),
-        "V3": (9700, 9700),
-        "V4": (9800, 9800),
-        "V5": (10120, 10120),
-    }
-    for vid, (storage, recreation) in materialization.items():
-        model.set_materialization(vid, storage, recreation)
-    deltas = {
-        ("V1", "V2"): (200, 200),
-        ("V1", "V3"): (1000, 3000),
-        ("V2", "V4"): (50, 400),
-        ("V2", "V5"): (800, 2500),
-        ("V3", "V5"): (200, 550),
-        ("V2", "V1"): (500, 600),
-        ("V3", "V2"): (1100, 3200),
-        ("V4", "V5"): (900, 2500),
-        ("V5", "V4"): (800, 2300),
-    }
-    for (source, target), (storage, recreation) in deltas.items():
-        model.set_delta(source, target, storage, recreation)
-    versions = [
-        Version("V1", size=10000),
-        Version("V2", size=10100, parents=("V1",)),
-        Version("V3", size=9700, parents=("V1",)),
-        Version("V4", size=9800, parents=("V2",)),
-        Version("V5", size=10120, parents=("V2", "V3")),
-    ]
-    return ProblemInstance(versions, model)
-
-
-def build_chain_instance(
-    num_versions: int = 5,
-    *,
-    full_size: float = 100.0,
-    delta_size: float = 10.0,
-    phi_factor: float = 1.0,
-    directed: bool = True,
-) -> ProblemInstance:
-    """A linear chain v0 -> v1 -> ... with uniform costs, easy to verify."""
-    model = CostModel(directed=directed, phi_equals_delta=(phi_factor == 1.0))
-    ids = [f"v{i}" for i in range(num_versions)]
-    for vid in ids:
-        model.set_materialization(vid, full_size, full_size)
-    for a, b in zip(ids, ids[1:]):
-        if model.phi_equals_delta:
-            model.set_delta(a, b, delta_size)
-            if directed:
-                model.set_delta(b, a, delta_size)
-        else:
-            model.set_delta(a, b, delta_size, delta_size * phi_factor)
-            if directed:
-                model.set_delta(b, a, delta_size, delta_size * phi_factor)
-    versions = [Version(vid, size=full_size) for vid in ids]
-    return ProblemInstance(versions, model)
-
-
 @pytest.fixture
-def figure1_instance() -> ProblemInstance:
+def figure1_instance():
     return build_figure1_instance()
 
 
 @pytest.fixture
-def chain_instance() -> ProblemInstance:
+def chain_instance():
     return build_chain_instance()
 
 
@@ -117,23 +58,6 @@ def small_bf():
 @pytest.fixture(scope="session")
 def small_undirected():
     return densely_connected(num_versions=40, seed=9, directed=False, proportional=True)
-
-
-def build_random_instance(
-    num_versions: int = 25,
-    *,
-    seed: int = 0,
-    directed: bool = True,
-    proportional: bool = False,
-    hop_limit: int | None = 3,
-) -> ProblemInstance:
-    """A random instance for cross-checking algorithms against oracles."""
-    graph = flat_history_graph(num_versions, seed=seed)
-    config = SyntheticCostConfig(
-        proportional=proportional, directed=directed, seed=seed + 100
-    )
-    model = synthetic_costs(graph, config, hop_limit=hop_limit)
-    return ProblemInstance.from_version_graph(graph, model)
 
 
 @pytest.fixture

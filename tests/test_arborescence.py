@@ -15,7 +15,7 @@ from repro.algorithms.arborescence import (
 from repro.core.instance import ROOT
 from repro.exceptions import SolverError
 
-from .conftest import build_chain_instance, build_random_instance
+from tests.helpers import build_chain_instance, build_random_instance
 
 
 def random_rooted_digraph(num_nodes: int, seed: int) -> list[tuple[int, int, float]]:

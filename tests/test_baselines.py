@@ -9,7 +9,7 @@ from repro.baselines.gzip_baseline import gzip_cost_report, gzip_payload_report
 from repro.baselines.naive import materialize_all_plan, single_chain_plan
 from repro.baselines.svn_skip_delta import skip_delta_parent_index, svn_skip_delta_report
 
-from .conftest import build_chain_instance
+from tests.helpers import build_chain_instance
 
 
 class TestNaiveBaselines:

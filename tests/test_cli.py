@@ -142,6 +142,120 @@ class TestOptimizationCommands:
             parser.parse_args(["solve", "somewhere", "--problem", "9"])
 
 
+class TestBackendsAndBatch:
+    def test_init_with_zip_backend_roundtrip(self, tmp_path, capsys):
+        directory = str(tmp_path / "zipped")
+        assert main(["init", directory, "--backend", "zip://objects"]) == 0
+        assert "zip://objects" in capsys.readouterr().out
+        data = str(tmp_path / "data.csv")
+        write_file(data, [f"row,{i}" for i in range(20)])
+        assert main(["commit", directory, data, "-m", "first"]) == 0
+        objects = os.listdir(os.path.join(directory, "objects"))
+        assert objects and all(name.endswith(".objz") for name in objects)
+        capsys.readouterr()
+        assert main(["checkout", directory, "v0"]) == 0
+        assert "row,0" in capsys.readouterr().out
+
+    def test_init_rejects_memory_backend(self, tmp_path, capsys):
+        # Each CLI invocation is a new process; a memory:// store would lose
+        # the objects while the state file keeps referencing them.
+        assert main(["init", str(tmp_path / "mem"), "--backend", "memory://"]) == 1
+        assert "memory://" in capsys.readouterr().err
+
+    def test_state_records_backend_spec(self, tmp_path):
+        directory = str(tmp_path / "zipped")
+        main(["init", directory, "--backend", "zip://objects"])
+        with open(os.path.join(directory, "repro_state.json")) as handle:
+            assert json.load(handle)["backend"] == "zip://objects"
+
+    def test_save_hand_built_repository_keeps_real_backend(self, tmp_path):
+        """save_repository must record the store's actual backend, not the
+        CLI default, for repositories built through the public API."""
+        from repro.cli import save_repository
+        from repro.storage.repository import Repository
+
+        objects_dir = str(tmp_path / "external-objects")
+        repo = Repository(backend=f"zip://{objects_dir}")
+        repo.commit(["row,1", "row,2"], message="external")
+        state_dir = str(tmp_path / "repo")
+        os.makedirs(state_dir)
+        save_repository(repo, state_dir)
+
+        reloaded = load_repository(state_dir)
+        assert reloaded.checkout("v0").payload == ["row,1", "row,2"]
+
+    def test_save_absolutizes_cwd_relative_backend_paths(self, tmp_path, monkeypatch):
+        """A cwd-relative spec must not be reinterpreted as repo-relative
+        when the state file is loaded later."""
+        from repro.cli import save_repository
+        from repro.storage.repository import Repository
+
+        monkeypatch.chdir(tmp_path)
+        repo = Repository(backend="file://relative-objects")
+        repo.commit(["row,1"], message="relative")
+        state_dir = str(tmp_path / "meta")
+        os.makedirs(state_dir)
+        save_repository(repo, state_dir)
+        with open(os.path.join(state_dir, "repro_state.json")) as handle:
+            spec = json.load(handle)["backend"]
+        assert os.path.isabs(spec.partition("://")[2])
+        assert load_repository(state_dir).checkout("v0").payload == ["row,1"]
+
+    def test_batch_checkout_writes_files_and_reports(self, repo_dir, tmp_path, capsys):
+        lines = [f"row,{i},{i}" for i in range(30)]
+        for step in range(3):
+            path = str(tmp_path / f"step{step}.csv")
+            lines = lines + [f"patch,{step}"]
+            write_file(path, lines)
+            main(["commit", repo_dir, path, "-m", f"step {step}"])
+        out_dir = str(tmp_path / "restored")
+        capsys.readouterr()
+        code = main(["checkout", repo_dir, "v0", "v1", "v2", "--batch", "-o", out_dir])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delta applications" in output
+        for vid in ("v0", "v1", "v2"):
+            assert os.path.exists(os.path.join(out_dir, f"{vid}.txt"))
+        with open(os.path.join(out_dir, "v2.txt")) as handle:
+            assert handle.read().splitlines() == lines
+
+    def test_batch_checkout_unknown_version_fails(self, repo_dir, data_file):
+        main(["commit", repo_dir, data_file])
+        assert main(["checkout", repo_dir, "v0", "ghost", "--batch"]) == 1
+
+    def test_batch_checkout_rejects_file_as_output_dir(
+        self, repo_dir, data_file, tmp_path, capsys
+    ):
+        main(["commit", repo_dir, data_file])
+        existing_file = str(tmp_path / "restored.csv")
+        write_file(existing_file, ["already here"])
+        code = main(["checkout", repo_dir, "v0", "--batch", "-o", existing_file])
+        assert code == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_batch_checkout_without_output_prints_payloads(
+        self, repo_dir, data_file, tmp_path, capsys
+    ):
+        main(["commit", repo_dir, data_file, "-m", "base"])
+        changed = str(tmp_path / "changed.csv")
+        write_file(changed, [f"row,{i},{i * 2}" for i in range(40)] + ["extra,1,2"])
+        main(["commit", repo_dir, changed, "-m", "second"])
+        capsys.readouterr()
+        assert main(["checkout", repo_dir, "v0", "v1", "--batch"]) == 0
+        output = capsys.readouterr().out
+        assert "### v0" in output and "### v1" in output
+        assert "extra,1,2" in output
+
+    def test_save_rejects_memory_backed_repository(self, tmp_path):
+        from repro.cli import save_repository
+        from repro.storage.repository import Repository
+
+        repo = Repository()  # default memory:// backend
+        repo.commit(["row,1"])
+        with pytest.raises(ReproError):
+            save_repository(repo, str(tmp_path))
+
+
 class TestPersistence:
     def test_state_survives_reload(self, repo_dir, data_file):
         main(["commit", repo_dir, data_file, "-m", "persisted"])

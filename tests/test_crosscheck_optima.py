@@ -1,0 +1,106 @@
+"""Cross-checks: heuristic plans vs. the exact ILP optimum and naive baselines.
+
+On tiny instances the Section 2.3 MILP is tractable, which pins each
+heuristic between two rails:
+
+* its storage objective can never beat the ILP optimum for the same
+  threshold (the ILP is exact), and
+* it must never be worse than the naive "materialize everything" baseline
+  (the trivially feasible upper rail).
+
+These bounds guard the LMG/MP/LAST implementations against regressions
+that silently degrade (or impossibly "improve") solution quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.ilp import solve_ilp_max_recreation, solve_ilp_sum_recreation
+from repro.algorithms.last import last_plan
+from repro.algorithms.lmg import solve_problem_5
+from repro.algorithms.mp import minimum_feasible_threshold, modified_prim
+from repro.algorithms.mst import minimum_storage_plan
+from repro.algorithms.shortest_path import shortest_path_distances, shortest_path_plan
+from repro.baselines.naive import materialize_all_plan
+
+from tests.helpers import build_random_instance
+
+SEEDS = [0, 1, 2]
+NUM_VERSIONS = 12
+
+
+def tiny_instance(seed: int):
+    return build_random_instance(NUM_VERSIONS, seed=seed, hop_limit=3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestLMGAgainstILP:
+    """Problem 5: minimize storage subject to Σ R_i ≤ θ."""
+
+    def test_lmg_between_ilp_and_naive(self, seed):
+        instance = tiny_instance(seed)
+        mca_sum = minimum_storage_plan(instance).evaluate(instance).sum_recreation
+        spt_sum = shortest_path_plan(instance).evaluate(instance).sum_recreation
+        assert spt_sum <= mca_sum
+        theta = spt_sum + 0.4 * (mca_sum - spt_sum)
+
+        ilp_plan = solve_ilp_sum_recreation(instance, theta)
+        lmg_plan = solve_problem_5(instance, theta)
+
+        ilp_metrics = ilp_plan.evaluate(instance)
+        lmg_metrics = lmg_plan.evaluate(instance)
+        naive_storage = materialize_all_plan(instance).storage_cost(instance)
+
+        # Both plans must actually satisfy the constraint...
+        assert ilp_metrics.sum_recreation <= theta * (1 + 1e-9) + 1e-6
+        assert lmg_metrics.sum_recreation <= theta * (1 + 1e-9) + 1e-6
+        # ...and the heuristic sits between the exact optimum and the
+        # naive baseline.
+        assert lmg_metrics.storage_cost >= ilp_metrics.storage_cost * (1 - 1e-9) - 1e-6
+        assert lmg_metrics.storage_cost <= naive_storage + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestMPAgainstILP:
+    """Problem 6: minimize storage subject to max R_i ≤ θ."""
+
+    def test_mp_between_ilp_and_naive(self, seed):
+        instance = tiny_instance(seed)
+        theta_min = minimum_feasible_threshold(instance)
+        mca_max = minimum_storage_plan(instance).evaluate(instance).max_recreation
+        theta = theta_min + 0.4 * max(mca_max - theta_min, 0.0) + 1e-6
+
+        ilp_plan = solve_ilp_max_recreation(instance, theta)
+        mp_plan = modified_prim(instance, theta)
+
+        ilp_metrics = ilp_plan.evaluate(instance)
+        mp_metrics = mp_plan.evaluate(instance)
+        naive_storage = materialize_all_plan(instance).storage_cost(instance)
+
+        assert ilp_metrics.max_recreation <= theta * (1 + 1e-9) + 1e-6
+        assert mp_metrics.max_recreation <= theta * (1 + 1e-9) + 1e-6
+        assert mp_metrics.storage_cost >= ilp_metrics.storage_cost * (1 - 1e-9) - 1e-6
+        assert mp_metrics.storage_cost <= naive_storage + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestLASTGuarantees:
+    """LAST has no threshold; its rails are its α-guarantee and the optima."""
+
+    def test_last_between_optimum_and_naive(self, seed):
+        instance = tiny_instance(seed)
+        alpha = 2.0
+        plan = last_plan(instance, alpha)
+        metrics = plan.evaluate(instance)
+
+        # Storage can never beat the storage-ILP optimum (the MCA)...
+        mca_storage = minimum_storage_plan(instance).storage_cost(instance)
+        naive_storage = materialize_all_plan(instance).storage_cost(instance)
+        assert metrics.storage_cost >= mca_storage * (1 - 1e-9) - 1e-6
+        assert metrics.storage_cost <= naive_storage + 1e-6
+
+        # ...and every recreation cost honors the α · shortest-path bound.
+        distances = shortest_path_distances(instance)
+        for vid, cost in metrics.recreation_costs.items():
+            assert cost <= alpha * distances[vid] * (1 + 1e-9) + 1e-6

@@ -8,7 +8,7 @@ from repro.algorithms.gith import git_heuristic_plan, gith_sweep
 from repro.algorithms.mst import minimum_storage_plan
 from repro.exceptions import SolverError
 
-from .conftest import build_chain_instance
+from tests.helpers import build_chain_instance
 
 
 class TestGitHBasics:

@@ -15,7 +15,7 @@ from repro.algorithms.mst import minimum_storage_plan
 from repro.algorithms.shortest_path import shortest_path_plan
 from repro.exceptions import InfeasibleProblemError, SolverError
 
-from .conftest import build_figure1_instance, build_random_instance
+from tests.helpers import build_figure1_instance, build_random_instance
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.core.matrices import CostModel
 from repro.core.version import Version
 from repro.exceptions import InvalidCostError, VersionNotFoundError
 
-from .conftest import build_chain_instance, build_figure1_instance
+from tests.helpers import build_chain_instance, build_figure1_instance
 
 
 class TestRootSentinel:

@@ -9,7 +9,7 @@ from repro.algorithms.mst import minimum_storage_plan
 from repro.algorithms.shortest_path import shortest_path_distances
 from repro.exceptions import SolverError
 
-from .conftest import build_random_instance
+from tests.helpers import build_random_instance
 
 
 class TestLastGuarantees:

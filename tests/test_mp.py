@@ -14,7 +14,7 @@ from repro.algorithms.shortest_path import shortest_path_distances
 from repro.core import CostModel, ProblemInstance, Version
 from repro.exceptions import InfeasibleProblemError
 
-from .conftest import build_figure1_instance
+from tests.helpers import build_figure1_instance
 
 
 def paper_example_graph() -> ProblemInstance:

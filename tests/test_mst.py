@@ -17,7 +17,7 @@ from repro.algorithms.mst import (
 from repro.core.instance import ROOT
 from repro.exceptions import SolverError
 
-from .conftest import build_chain_instance, build_random_instance
+from tests.helpers import build_chain_instance, build_random_instance
 
 
 def random_connected_graph(num_nodes: int, seed: int) -> dict:

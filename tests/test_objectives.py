@@ -16,7 +16,7 @@ from repro.core.objectives import (
 )
 from repro.core.storage_plan import StoragePlan
 
-from .conftest import build_figure1_instance
+from tests.helpers import build_figure1_instance
 
 
 @pytest.fixture

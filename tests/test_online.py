@@ -87,7 +87,7 @@ class TestOnlineDecisions:
         # with the offline optimum (materialize one version, delta the rest),
         # and never beat it.
         from repro.algorithms.mst import minimum_storage_plan
-        from tests.conftest import build_chain_instance
+        from tests.helpers import build_chain_instance
 
         instance = build_chain_instance(6, full_size=100, delta_size=10)
         policy = OnlineStoragePolicy()

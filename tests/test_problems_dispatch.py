@@ -8,7 +8,7 @@ from repro.core.objectives import Objective
 from repro.core.problems import PROBLEMS, Algorithm, ProblemKind, solve
 from repro.exceptions import InfeasibleProblemError, SolverError
 
-from .conftest import build_figure1_instance
+from tests.helpers import build_figure1_instance
 
 
 class TestProblemSpecs:

@@ -16,7 +16,7 @@ from repro.algorithms.shortest_path import (
 from repro.core.instance import ROOT
 from repro.exceptions import SolverError
 
-from .conftest import build_chain_instance, build_figure1_instance, build_random_instance
+from tests.helpers import build_chain_instance, build_figure1_instance, build_random_instance
 
 
 def random_digraph(num_nodes: int, seed: int) -> dict:

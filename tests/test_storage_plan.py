@@ -10,7 +10,7 @@ from repro.core.instance import ROOT
 from repro.core.storage_plan import StoragePlan
 from repro.exceptions import InvalidStoragePlanError, VersionNotFoundError
 
-from .conftest import build_chain_instance, build_figure1_instance
+from tests.helpers import build_chain_instance, build_figure1_instance
 
 
 def figure1_plan_iv() -> StoragePlan:
