@@ -15,6 +15,14 @@ repository::
     python -m repro stats       myrepo
     python -m repro repack      myrepo --problem 3 --threshold-factor 1.5
     python -m repro solve       myrepo --problem 6 --threshold 2e6
+    python -m repro serve       myrepo --port 8750
+
+``checkout`` and ``stats`` are remote-aware: pass ``http://HOST:PORT`` (a
+running ``repro serve`` process) instead of a repository directory and the
+command is served over the JSON API with the server's warm cache::
+
+    python -m repro checkout    http://127.0.0.1:8750 v3 -o restored.csv
+    python -m repro stats       http://127.0.0.1:8750
 
 The repository state (version graph, branch heads and the object-id mapping)
 is persisted as JSON next to the object store, so successive invocations
@@ -37,9 +45,8 @@ import os
 import sys
 from typing import Sequence
 
-from .algorithms.mst import minimum_storage_plan
 from .bench.harness import format_table
-from .core.problems import ProblemKind, solve
+from .core.problems import default_threshold, solve
 from .delta.line_diff import LineDiffEncoder
 from .exceptions import ReproError
 from .storage.repository import Repository
@@ -52,12 +59,49 @@ _DEFAULT_BACKEND = f"file://{_OBJECTS_DIR}"
 
 
 def _resolve_backend_spec(spec: str, directory: str) -> str:
-    """Anchor relative ``file://`` / ``zip://`` paths inside the repository."""
+    """Anchor relative ``file://`` / ``zip://`` paths inside the repository.
+
+    Composite ``shard://N/CHILDSPEC`` specs anchor their *child* spec;
+    remote ``http://`` specs carry no filesystem path and pass through.
+    """
     if "://" not in spec:
         spec = f"file://{spec}"
     scheme, _, path = spec.partition("://")
+    if scheme == "shard":
+        count, sep, child = path.partition("/")
+        if sep and child:
+            return f"{scheme}://{count}/{_resolve_backend_spec(child, directory)}"
+        return spec  # malformed — open_backend reports the proper error
+    if scheme in ("http", "https"):
+        return spec
     if path and not os.path.isabs(path):
         path = os.path.join(directory, path)
+    return f"{scheme}://{path}"
+
+
+def _absolutize_spec(spec: str) -> str:
+    """Absolutize every filesystem path inside ``spec`` (shard children too).
+
+    Used when persisting a hand-built repository: the state file is later
+    resolved against the repository directory, so any cwd-relative path
+    must be pinned down now or the reload points at the wrong store.
+    """
+    if "://" not in spec:
+        spec = f"file://{spec}"
+    scheme, _, path = spec.partition("://")
+    if scheme == "shard":
+        count, sep, child = path.partition("/")
+        if not (count.isdigit() and sep and child):
+            raise ReproError(
+                f"backend spec {spec!r} cannot be reopened; construct the "
+                "sharded backend from a 'shard://N/CHILDSPEC' spec to "
+                "persist this repository"
+            )
+        return f"{scheme}://{count}/{_absolutize_spec(child)}"
+    if scheme in ("http", "https", "memory"):
+        return spec
+    if path and not os.path.isabs(path):
+        path = os.path.abspath(path)
     return f"{scheme}://{path}"
 
 
@@ -66,13 +110,19 @@ def _require_persistent(backend_spec: str) -> str:
 
     Every CLI invocation is a separate process: a memory-backed store would
     lose the object bytes while ``repro_state.json`` keeps claiming they
-    exist, silently corrupting the repository.
+    exist, silently corrupting the repository.  Sharded specs are checked
+    at their leaves — ``shard://2/memory://`` is just as volatile.
     """
-    if backend_spec.partition("://")[0] == "memory":
+    scheme, _, path = backend_spec.partition("://")
+    if scheme == "memory":
         raise ReproError(
             "memory:// cannot back a persisted CLI repository; "
             "use file://PATH or zip://PATH"
         )
+    if scheme == "shard":
+        _, sep, child = path.partition("/")
+        if sep and child:
+            _require_persistent(child if "://" in child else f"file://{child}")
     return backend_spec
 
 
@@ -85,13 +135,13 @@ def save_repository(repo: Repository, directory: str) -> None:
     if backend_spec is None:
         # Fall back to the store's actual spec (not the CLI default) so a
         # hand-built Repository saved through this helper reloads against
-        # the backend that really holds its objects.  The spec may carry a
-        # cwd-relative path; load_repository resolves relative paths
-        # against the repository directory, so absolutize it here.
-        scheme, _, path = repo.store.backend.spec().partition("://")
-        if path and not os.path.isabs(path):
-            path = os.path.abspath(path)
-        backend_spec = f"{scheme}://{path}"
+        # the backend that really holds its objects.  The spec may carry
+        # cwd-relative paths (including inside shard children);
+        # load_repository resolves relative paths against the repository
+        # directory, so absolutize everything here.  Hand-built sharded
+        # backends without a reopenable spec are rejected loudly rather
+        # than persisted as a state file no process could ever open.
+        backend_spec = _absolutize_spec(repo.store.backend.spec())
     state = {
         "backend": _require_persistent(backend_spec),
         "counter": repo._counter,
@@ -190,7 +240,14 @@ def _cmd_commit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_remote(repository: str) -> bool:
+    """True when the repository argument names a running service, not a dir."""
+    return repository.startswith(("http://", "https://"))
+
+
 def _cmd_checkout(args: argparse.Namespace) -> int:
+    if _is_remote(args.repository):
+        return _remote_checkout(args)
     repo = load_repository(args.repository)
     if args.batch or len(args.versions) > 1:
         return _batch_checkout(repo, args)
@@ -210,25 +267,36 @@ def _cmd_checkout(args: argparse.Namespace) -> int:
     return 0
 
 
-def _batch_checkout(repo: Repository, args: argparse.Namespace) -> int:
-    if args.output and os.path.exists(args.output) and not os.path.isdir(args.output):
+def _check_batch_output(output: str | None) -> None:
+    if output and os.path.exists(output) and not os.path.isdir(output):
         raise ReproError(
-            f"batch checkout writes one file per version: {args.output!r} "
+            f"batch checkout writes one file per version: {output!r} "
             "exists and is not a directory"
         )
-    result = repo.checkout_many(args.versions)
-    if args.output:
-        os.makedirs(args.output, exist_ok=True)
-        for vid, item in result.items.items():
-            path = os.path.join(args.output, f"{vid}.txt")
+
+
+def _emit_batch_payloads(payloads: dict[str, list[str]], output: str | None) -> None:
+    """Write one ``<vid>.txt`` per version under ``output``, or — mirroring
+    single-version checkout — print one '### <id>' block per version."""
+    if output:
+        os.makedirs(output, exist_ok=True)
+        for vid, lines in payloads.items():
+            path = os.path.join(output, f"{vid}.txt")
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(item.payload) + "\n")
+                handle.write("\n".join(lines) + "\n")
     else:
-        # Mirror single-version checkout: payloads go to stdout, one block
-        # per version behind a '### <id>' header.
-        for vid, item in result.items.items():
+        for vid, lines in payloads.items():
             print(f"### {vid}")
-            print("\n".join(item.payload))
+            print("\n".join(lines))
+
+
+def _batch_checkout(repo: Repository, args: argparse.Namespace) -> int:
+    _check_batch_output(args.output)
+    result = repo.checkout_many(args.versions)
+    _emit_batch_payloads(
+        {vid: item.payload for vid, item in result.items.items()}, args.output
+    )
+    if not args.output:
         return 0
     rows = [
         [
@@ -250,6 +318,41 @@ def _batch_checkout(repo: Repository, args: argparse.Namespace) -> int:
     )
     if args.output:
         print(f"wrote {len(result.items)} files to {args.output}")
+    return 0
+
+
+def _remote_checkout(args: argparse.Namespace) -> int:
+    """Serve checkout(s) from a running ``repro serve`` process."""
+    from .server.remote import ServiceClient
+
+    client = ServiceClient(args.repository)
+    if args.batch or len(args.versions) > 1:
+        _check_batch_output(args.output)
+        result = client.checkout_many(args.versions)
+        _emit_batch_payloads(
+            {vid: item["payload"] for vid, item in result["items"].items()},
+            args.output,
+        )
+        if args.output:
+            summary = result["summary"]
+            print(
+                f"remote batch: {summary['deltas_applied']:.0f}/"
+                f"{summary['naive_delta_applications']:.0f} delta applications, "
+                f"wrote {len(result['items'])} files to {args.output}"
+            )
+        return 0
+    response = client.checkout(args.versions[0])
+    text = "\n".join(response["payload"])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"checked out {response['version']} from {args.repository} to "
+            f"{args.output} (chain length {response['chain_length']}, "
+            f"deltas applied {response['deltas_applied']})"
+        )
+    else:
+        print(text)
     return 0
 
 
@@ -297,6 +400,25 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if _is_remote(args.repository):
+        from .server.remote import ServiceClient
+
+        stats = ServiceClient(args.repository).stats()
+        serving, repository = stats["serving"], stats["repository"]
+        rows = [
+            ["versions", repository["versions"]],
+            ["branches", len(repository["branches"])],
+            ["objects", repository["objects"]],
+            ["storage cost", f"{repository['storage_cost']:.0f}"],
+            ["backend", repository["backend"]],
+            ["checkout requests", serving["checkout_requests"]],
+            ["coalesced requests", serving["coalesced_requests"]],
+            ["deltas applied", serving["deltas_applied"]],
+            ["naive delta applications", serving["naive_delta_applications"]],
+            ["recreation cost paid", f"{serving['recreation_cost_paid']:.0f}"],
+        ]
+        print(format_table(["metric", "value"], rows))
+        return 0
     repo = load_repository(args.repository)
     naive = sum(v.size for v in repo.graph.versions)
     rows = [
@@ -351,27 +473,41 @@ def _cmd_repack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a repository as a long-lived HTTP version-store service."""
+    from .server.httpd import serve
+    from .server.service import VersionStoreService
+
+    repo = load_repository(args.repository)
+    service = VersionStoreService(
+        repo,
+        cache_size=args.cache_size,
+        strategy=args.strategy,
+        # Persist the state file after every commit so a crash never loses
+        # acknowledged versions (objects are already on disk by then).
+        on_commit=lambda repository: save_repository(repository, args.repository),
+    )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {args.repository} on http://{host}:{port} (ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        save_repository(repo, args.repository)
+    return 0
+
+
 def _resolve_threshold(args: argparse.Namespace, instance) -> float | None:
     """Turn --threshold / --threshold-factor into an absolute bound."""
-    problem = ProblemKind(args.problem)
-    if problem in (ProblemKind.MINIMIZE_STORAGE, ProblemKind.MINIMIZE_RECREATION):
-        return None
-    if getattr(args, "threshold", None) is not None:
-        return float(args.threshold)
-    factor = getattr(args, "threshold_factor", None)
-    if factor is None:
-        factor = 1.5
-    if problem in (ProblemKind.MINSUM_RECREATION, ProblemKind.MINMAX_RECREATION):
-        reference = minimum_storage_plan(instance).storage_cost(instance)
-    elif problem is ProblemKind.MIN_STORAGE_SUM_RECREATION:
-        reference = sum(
-            instance.materialization_recreation(vid) for vid in instance.version_ids
-        )
-    else:
-        reference = max(
-            instance.materialization_recreation(vid) for vid in instance.version_ids
-        )
-    return float(factor) * reference
+    return default_threshold(
+        instance,
+        args.problem,
+        threshold=getattr(args, "threshold", None),
+        factor=getattr(args, "threshold_factor", None),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -406,7 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     commit.set_defaults(handler=_cmd_commit)
 
     checkout = sub.add_parser("checkout", help="reconstruct one or more versions")
-    checkout.add_argument("repository")
+    checkout.add_argument(
+        "repository",
+        help="repository directory, or http://HOST:PORT of a running "
+        "'repro serve' process",
+    )
     checkout.add_argument("versions", nargs="+", metavar="version")
     checkout.add_argument(
         "-o",
@@ -448,8 +588,34 @@ def build_parser() -> argparse.ArgumentParser:
     merge.set_defaults(handler=_cmd_merge)
 
     stats = sub.add_parser("stats", help="show storage statistics")
-    stats.add_argument("repository")
+    stats.add_argument(
+        "repository",
+        help="repository directory, or http://HOST:PORT of a running "
+        "'repro serve' process",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the repository as a long-lived HTTP service"
+    )
+    serve.add_argument("repository")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="payloads kept in the warm materialization cache",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=("dfs", "lru"),
+        default="dfs",
+        help="batch scheduling strategy for checkout_many",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     for name, handler in (("solve", _cmd_solve), ("repack", _cmd_repack)):
         command = sub.add_parser(

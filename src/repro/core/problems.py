@@ -27,7 +27,15 @@ from .instance import ProblemInstance
 from .objectives import Objective
 from .storage_plan import StoragePlan
 
-__all__ = ["Scenario", "ProblemKind", "ProblemSpec", "PROBLEMS", "solve", "SolveResult"]
+__all__ = [
+    "Scenario",
+    "ProblemKind",
+    "ProblemSpec",
+    "PROBLEMS",
+    "solve",
+    "SolveResult",
+    "default_threshold",
+]
 
 
 class Scenario(IntEnum):
@@ -189,6 +197,44 @@ def solve(
     plan = _dispatch(instance, kind, threshold, algorithm, options)
     plan.validate(instance)
     return SolveResult(spec, plan, instance, algorithm.value)
+
+
+def default_threshold(
+    instance: ProblemInstance,
+    problem: ProblemKind | int,
+    *,
+    threshold: float | None = None,
+    factor: float | None = None,
+) -> float | None:
+    """Resolve an absolute β/θ bound for ``problem`` on ``instance``.
+
+    An explicit ``threshold`` wins.  Otherwise ``factor`` (default 1.5)
+    scales the problem's natural reference: the MCA storage cost for the
+    storage-bounded problems 3/4, and the total/max recreation cost of the
+    materialize-everything plan for the recreation-bounded problems 5/6.
+    Problems without a constraint resolve to ``None``.  Shared by the CLI
+    and the serving layer so both price thresholds identically.
+    """
+    kind = ProblemKind(problem)
+    if not PROBLEMS[kind].needs_threshold:
+        return None
+    if threshold is not None:
+        return float(threshold)
+    if factor is None:
+        factor = 1.5
+    from ..algorithms.mst import minimum_storage_plan
+
+    if kind in (ProblemKind.MINSUM_RECREATION, ProblemKind.MINMAX_RECREATION):
+        reference = minimum_storage_plan(instance).storage_cost(instance)
+    elif kind is ProblemKind.MIN_STORAGE_SUM_RECREATION:
+        reference = sum(
+            instance.materialization_recreation(vid) for vid in instance.version_ids
+        )
+    else:
+        reference = max(
+            instance.materialization_recreation(vid) for vid in instance.version_ids
+        )
+    return float(factor) * reference
 
 
 def _default_algorithm(kind: ProblemKind) -> Algorithm:

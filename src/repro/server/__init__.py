@@ -1,0 +1,32 @@
+"""Long-lived serving layer: the version store as a process, not a command.
+
+The paper's storage/recreation tradeoff assumes recreation cost is paid per
+checkout; a process that lives across requests amortizes it through a warm
+materialization cache and request coalescing.  This package provides:
+
+* :mod:`~repro.server.service` — :class:`VersionStoreService`, the
+  transport-agnostic core (warm batch cache, coalescing, serving stats);
+* :mod:`~repro.server.httpd` — the stdlib HTTP/JSON transport plus the
+  pickled ``/objects`` endpoints that expose the raw object store;
+* :mod:`~repro.server.remote` — clients: :class:`RemoteBackend` (mount
+  another process's store via ``open_backend("http://HOST:PORT")``) and
+  :class:`ServiceClient` (JSON API).
+
+Start one from the CLI with ``repro serve REPO --port 8750``.
+"""
+
+from .httpd import VersionStoreHTTPServer, serve, serve_in_thread
+from .remote import RemoteBackend, RemoteServiceError, ServiceClient
+from .service import CheckoutResponse, ServiceStats, VersionStoreService
+
+__all__ = [
+    "CheckoutResponse",
+    "RemoteBackend",
+    "RemoteServiceError",
+    "ServiceClient",
+    "ServiceStats",
+    "VersionStoreHTTPServer",
+    "VersionStoreService",
+    "serve",
+    "serve_in_thread",
+]

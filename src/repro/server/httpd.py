@@ -1,0 +1,305 @@
+"""HTTP transport for :class:`~repro.server.service.VersionStoreService`.
+
+Everything is plain standard library (``http.server.ThreadingHTTPServer``)
+so running a version store behind a port needs no dependencies beyond the
+package itself.  Two API surfaces share the socket:
+
+**JSON service API** (for clients and the remote-aware CLI)
+
+========  ======================  =============================================
+Method    Path                    Body / response
+========  ======================  =============================================
+GET       ``/healthz``            ``{"status": "ok"}``
+GET       ``/stats``              serving + repository counters
+GET       ``/checkout/VID``       one version's payload and serving costs
+POST      ``/checkout``           ``{"version": VID}`` — same as GET form
+POST      ``/checkout_many``      ``{"versions": [...]}`` — batched serving
+POST      ``/commit``             ``{"payload": ..., "parents"?, "message"?,
+                                  "branch"?}`` → ``{"version": VID}``
+POST      ``/plan``               ``{"problem"?, "threshold"?,
+                                  "threshold_factor"?, "hop_limit"?,
+                                  "algorithm"?}`` → metrics + plan
+========  ======================  =============================================
+
+Payloads travel as JSON values, so the service API handles any
+JSON-representable version content (the CLI's line-oriented files become
+lists of strings).
+
+**Object-store API** (for :class:`~repro.server.remote.RemoteBackend`)
+
+``GET /objects`` lists keys; ``GET/PUT/DELETE /objects/KEY`` move single
+objects as pickled bytes (``application/octet-stream``).  This is what lets
+one repro process mount another as its storage backend via an
+``http://HOST:PORT`` spec.  Pickle implies *trusted peers only* — exactly
+like the ``file://``/``zip://`` backends trust their directory — so bind
+the server to interfaces you control.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from ..exceptions import ReproError, VersionNotFoundError
+from .service import VersionStoreService
+
+__all__ = ["VersionStoreHTTPServer", "serve", "serve_in_thread"]
+
+#: Maximum accepted request body (64 MiB) — a plain guard against a
+#: misbehaving client exhausting server memory with one request.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class VersionStoreHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`VersionStoreService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: VersionStoreService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        """Base URL the server answers on (real port, even when bound to 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Per-request handler: every route delegates to the shared service,
+    # which owns all locking; handler instances hold no state of their own.
+    server: VersionStoreHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------- #
+    @property
+    def service(self) -> VersionStoreService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging is the operator's job (wrap serve() if needed)
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_bytes(self, status: int, data: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_empty(self, status: int = 204) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ReproError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        self._body_consumed = True
+        return self.rfile.read(length) if length else b""
+
+    def _read_json(self) -> dict[str, Any]:
+        raw = self._read_body()
+        if not raw:
+            return {}
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        # On HTTP/1.1 keep-alive connections an unread request body would be
+        # parsed as the *next* request line, desynchronizing the stream;
+        # whenever a response goes out without the body having been read
+        # (unmatched route, oversize body, pre-read errors), drop the
+        # connection instead of poisoning it.
+        self._body_consumed = False
+        try:
+            handled = self._route(method, parts, parse_qs(parsed.query))
+        except VersionNotFoundError as error:
+            self._send_json(404, {"error": str(error)})
+        except KeyError as error:
+            self._send_json(404, {"error": f"not found: {error}"})
+        except (ReproError, ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            if not handled:
+                if method == "HEAD":  # HEAD responses must carry no body
+                    self._send_empty(404)
+                else:
+                    self._send_json(404, {"error": f"no route for {method} {parsed.path}"})
+        finally:
+            # The flag only affects what happens after the response is
+            # flushed: the socket is dropped instead of being reused.
+            if not self._body_consumed and int(self.headers.get("Content-Length") or 0) > 0:
+                self.close_connection = True
+
+    # -- routing -------------------------------------------------------- #
+    def _route(self, method: str, parts: list[str], query: dict[str, list[str]]) -> bool:
+        if parts and parts[0] == "objects":
+            return self._route_objects(method, parts)
+        if method == "GET":
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+                return True
+            if parts == ["stats"]:
+                self._send_json(200, self.service.stats())
+                return True
+            if len(parts) == 2 and parts[0] == "checkout":
+                self._send_json(200, self.service.checkout(parts[1]).to_dict())
+                return True
+            return False
+        if method == "POST":
+            if parts == ["checkout"]:
+                body = self._read_json()
+                if "version" not in body:
+                    raise ReproError("checkout requires a 'version' field")
+                self._send_json(200, self.service.checkout(body["version"]).to_dict())
+                return True
+            if parts == ["checkout_many"]:
+                body = self._read_json()
+                versions = body.get("versions")
+                if not isinstance(versions, list):
+                    raise ReproError("checkout_many requires a 'versions' list")
+                result = self.service.checkout_many(versions)
+                self._send_json(
+                    200,
+                    {
+                        "items": {
+                            str(vid): {
+                                "payload": item.payload,
+                                "chain_length": item.chain_length,
+                                "recreation_cost": item.recreation_cost,
+                                "deltas_applied": item.deltas_applied,
+                            }
+                            for vid, item in result.items.items()
+                        },
+                        "summary": result.summary(),
+                    },
+                )
+                return True
+            if parts == ["commit"]:
+                body = self._read_json()
+                if "payload" not in body:
+                    raise ReproError("commit requires a 'payload' field")
+                version_id = self.service.commit(
+                    body["payload"],
+                    parents=body.get("parents"),
+                    message=body.get("message", ""),
+                    branch=body.get("branch"),
+                )
+                self._send_json(200, {"version": version_id})
+                return True
+            if parts == ["plan"]:
+                body = self._read_json()
+                report = self.service.plan(
+                    problem=int(body.get("problem", 3)),
+                    threshold=body.get("threshold"),
+                    threshold_factor=body.get("threshold_factor"),
+                    hop_limit=int(body.get("hop_limit", 2)),
+                    algorithm=body.get("algorithm", "auto"),
+                )
+                self._send_json(200, report)
+                return True
+            return False
+        return False
+
+    def _route_objects(self, method: str, parts: list[str]) -> bool:
+        # Raw backend access holds the service's serving lock: a peer's PUT
+        # or DELETE landing mid-chain-replay would otherwise yank objects
+        # from under the materializer (or read a half-written file on the
+        # non-atomic filesystem backends).
+        backend = self.service.repository.store.backend
+        lock = self.service.serve_lock
+        if method == "GET" and len(parts) == 1:
+            with lock:
+                keys = sorted(backend.keys())
+            self._send_json(200, {"keys": keys})
+            return True
+        if len(parts) != 2:
+            return False
+        key = parts[1]
+        if method == "HEAD":
+            # Existence probe: lets RemoteBackend answer `in` without
+            # downloading the object payload.
+            with lock:
+                present = key in backend
+            self._send_empty(200 if present else 404)
+            return True
+        if method == "GET":
+            with lock:
+                value = backend.get(key)  # KeyError -> 404 via _dispatch
+            self._send_bytes(200, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            return True
+        if method == "PUT":
+            value = pickle.loads(self._read_body())
+            with lock:
+                backend.put(key, value)
+            self._send_empty()
+            return True
+        if method == "DELETE":
+            with lock:
+                backend.delete(key)
+            self._send_empty()
+            return True
+        return False
+
+    # -- HTTP verbs ------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def serve(
+    service: VersionStoreService, host: str = "127.0.0.1", port: int = 0
+) -> VersionStoreHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks an ephemeral port).
+
+    The caller drives the loop: ``serve_forever()`` to block, or
+    :func:`serve_in_thread` for tests and embedding.
+    """
+    return VersionStoreHTTPServer((host, port), service)
+
+
+def serve_in_thread(
+    service: VersionStoreService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[VersionStoreHTTPServer, threading.Thread]:
+    """Start a server in a daemon thread; returns ``(server, thread)``.
+
+    Shut down with ``server.shutdown(); server.server_close()``.
+    """
+    server = serve(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread

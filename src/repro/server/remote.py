@@ -1,0 +1,224 @@
+"""Clients for a remote ``repro serve`` process.
+
+Two ways to consume a running :mod:`repro.server.httpd` server:
+
+* :class:`RemoteBackend` — a :class:`~repro.storage.backends.StorageBackend`
+  speaking the server's ``/objects`` endpoints, so one repro process can
+  mount another's object store (``open_backend("http://HOST:PORT")``).
+  Object bytes travel pickled, exactly as the filesystem backends store
+  them on disk — which makes this a *trusted-peer* protocol: only point it
+  at servers you run.
+* :class:`ServiceClient` — a thin JSON client for the service API
+  (commit / checkout / checkout_many / stats / plan), used by the
+  remote-aware CLI and handy in tests.
+
+Both are pure standard library (``urllib.request``).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Iterator, Sequence
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from ..exceptions import RepositoryError
+from ..storage.backends import BackendSpecError, StorageBackend, register_backend
+
+__all__ = [
+    "RemoteBackend",
+    "SecureRemoteBackend",
+    "ServiceClient",
+    "RemoteServiceError",
+]
+
+
+class RemoteServiceError(RepositoryError):
+    """The remote service answered with an error (or not at all)."""
+
+
+def _http(
+    method: str,
+    url: str,
+    *,
+    data: bytes | None = None,
+    content_type: str | None = None,
+    timeout: float = 30.0,
+) -> bytes:
+    """One HTTP exchange; raises ``urllib.error.HTTPError`` on 4xx/5xx."""
+    req = urlrequest.Request(url, data=data, method=method)
+    if content_type is not None:
+        req.add_header("Content-Type", content_type)
+    with urlrequest.urlopen(req, timeout=timeout) as response:
+        return response.read()
+
+
+class RemoteBackend(StorageBackend):
+    """Keyed blob store backed by another repro process's ``/objects`` API.
+
+    Raises :class:`KeyError` on missing keys like every other backend, so
+    the object store's error translation works unchanged over the network.
+    Connection-level failures surface as :class:`RemoteServiceError` rather
+    than ``KeyError`` — a dead server must not masquerade as an empty one.
+    """
+
+    scheme = "http"
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        if not base_url:
+            raise BackendSpecError("http:// backend requires HOST:PORT")
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @classmethod
+    def from_spec(cls, path: str) -> "RemoteBackend":
+        """Open ``http://HOST:PORT`` (the part after ``http://``)."""
+        return cls(path)
+
+    # -- StorageBackend -------------------------------------------------- #
+    def put(self, key: str, value: Any) -> None:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._exchange("PUT", key, data=data)
+
+    def get(self, key: str) -> Any:
+        return pickle.loads(self._exchange("GET", key))
+
+    def delete(self, key: str) -> None:
+        self._exchange("DELETE", key)
+
+    def keys(self) -> Iterator[str]:
+        raw = self._exchange("GET", None)
+        return iter(json.loads(raw.decode("utf-8"))["keys"])
+
+    def __contains__(self, key: str) -> bool:
+        # HEAD probe instead of the base class's get(): the object store
+        # tests existence before every write, and downloading (and
+        # unpickling) the full payload just to answer `in` would make each
+        # commit over http:// transfer entire objects.
+        try:
+            self._exchange("HEAD", key)
+        except KeyError:
+            return False
+        return True
+
+    def spec(self) -> str:
+        return self.base_url
+
+    # -- internals ------------------------------------------------------- #
+    def _exchange(self, method: str, key: str | None, data: bytes | None = None) -> bytes:
+        url = f"{self.base_url}/objects"
+        if key is not None:
+            url = f"{url}/{key}"
+        try:
+            return _http(
+                method,
+                url,
+                data=data,
+                content_type="application/octet-stream" if data is not None else None,
+                timeout=self.timeout,
+            )
+        except urlerror.HTTPError as error:
+            if error.code == 404 and key is not None:
+                raise KeyError(key) from None
+            raise RemoteServiceError(
+                f"{method} {url} failed: HTTP {error.code} {error.reason}"
+            ) from error
+        except urlerror.URLError as error:
+            raise RemoteServiceError(
+                f"cannot reach object store at {self.base_url}: {error.reason}"
+            ) from error
+
+
+class SecureRemoteBackend(RemoteBackend):
+    """:class:`RemoteBackend` over TLS (``https://`` specs).
+
+    The stdlib server in :mod:`repro.server.httpd` speaks plain HTTP; this
+    scheme exists for deployments that front it with a TLS terminator.
+    """
+
+    scheme = "https"
+
+    @classmethod
+    def from_spec(cls, path: str) -> "SecureRemoteBackend":
+        return cls(f"https://{path}")
+
+
+register_backend(RemoteBackend)
+register_backend(SecureRemoteBackend)
+
+
+class ServiceClient:
+    """JSON client for the version-store service API."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- service calls --------------------------------------------------- #
+    def healthz(self) -> dict[str, Any]:
+        return self._get("/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._get("/stats")
+
+    def checkout(self, version_id: str) -> dict[str, Any]:
+        return self._get(f"/checkout/{version_id}")
+
+    def checkout_many(self, version_ids: Sequence[str]) -> dict[str, Any]:
+        return self._post("/checkout_many", {"versions": list(version_ids)})
+
+    def commit(
+        self,
+        payload: Any,
+        *,
+        parents: Sequence[str] | None = None,
+        message: str = "",
+        branch: str | None = None,
+    ) -> str:
+        body: dict[str, Any] = {"payload": payload, "message": message}
+        if parents is not None:
+            body["parents"] = list(parents)
+        if branch is not None:
+            body["branch"] = branch
+        return self._post("/commit", body)["version"]
+
+    def plan(self, **options: Any) -> dict[str, Any]:
+        return self._post("/plan", options)
+
+    # -- internals ------------------------------------------------------- #
+    def _get(self, path: str) -> dict[str, Any]:
+        return self._json("GET", path, None)
+
+    def _post(self, path: str, body: dict[str, Any]) -> dict[str, Any]:
+        return self._json("POST", path, json.dumps(body).encode("utf-8"))
+
+    def _json(self, method: str, path: str, data: bytes | None) -> dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        try:
+            raw = _http(
+                method,
+                url,
+                data=data,
+                content_type="application/json" if data is not None else None,
+                timeout=self.timeout,
+            )
+        except urlerror.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise RemoteServiceError(
+                f"{method} {url} failed: HTTP {error.code}"
+                + (f" — {detail}" if detail else "")
+            ) from error
+        except urlerror.URLError as error:
+            raise RemoteServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from error
+        return json.loads(raw.decode("utf-8"))

@@ -1,0 +1,353 @@
+"""A long-lived version-store service around a :class:`Repository`.
+
+The paper's storage/recreation tradeoff only pays off when recreation work
+is amortized across many checkout requests — which requires a process that
+*stays alive* between requests instead of the one-shot CLI.  This module is
+that process's core, independent of any transport:
+
+* a persistent warm :class:`~repro.storage.batch.BatchMaterializer` cache
+  shared across *all* requests, so a hot version's chain is replayed once
+  and then served from memory;
+* request coalescing — concurrent checkouts of the same version share one
+  chain replay: the first request becomes the leader and replays the chain,
+  every concurrent duplicate waits and receives the very same payload;
+* aggregate serving statistics (`deltas_applied` vs the
+  ``naive_delta_applications`` a cold sequential server would have paid)
+  so the amortization the batch engine promises is observable in
+  production, not only in benchmarks.
+
+The HTTP transport lives in :mod:`repro.server.httpd`; this class is also
+usable directly in-process (the serving benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.problems import default_threshold, solve
+from ..core.version import VersionID
+from ..exceptions import ReproError
+from ..storage.batch import BatchMaterializer, BatchResult
+from ..storage.repository import Repository
+
+__all__ = ["VersionStoreService", "CheckoutResponse", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class CheckoutResponse:
+    """One served checkout: the payload plus what producing it cost.
+
+    ``coalesced`` is true when this request did not replay anything itself
+    but shared the leader's materialization of the same version.
+    """
+
+    version_id: VersionID
+    payload: Any
+    chain_length: int
+    recreation_cost: float
+    deltas_applied: int
+    cache_hits: int
+    coalesced: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the HTTP transport)."""
+        return {
+            "version": self.version_id,
+            "payload": self.payload,
+            "chain_length": self.chain_length,
+            "recreation_cost": self.recreation_cost,
+            "deltas_applied": self.deltas_applied,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters over the lifetime of a service."""
+
+    checkout_requests: int = 0
+    commits: int = 0
+    coalesced_requests: int = 0
+    deltas_applied: int = 0
+    naive_delta_applications: int = 0
+    recreation_cost_paid: float = 0.0
+    recreation_cost_predicted: float = 0.0
+    per_version: dict[VersionID, int] = field(default_factory=dict)
+
+    def record_checkout(
+        self,
+        version_id: VersionID,
+        *,
+        chain_length: int,
+        deltas_applied: int,
+        recreation_cost: float,
+        predicted_cost: float,
+        coalesced: bool = False,
+    ) -> None:
+        """Fold one served request into the totals.
+
+        ``naive_delta_applications`` grows by the full chain length on every
+        request — coalesced and cache-served ones included — because that is
+        what a cold sequential server would have paid for the same stream.
+        """
+        self.checkout_requests += 1
+        self.naive_delta_applications += chain_length
+        self.deltas_applied += deltas_applied
+        self.recreation_cost_paid += recreation_cost
+        self.recreation_cost_predicted += predicted_cost
+        if coalesced:
+            self.coalesced_requests += 1
+        self.per_version[version_id] = self.per_version.get(version_id, 0) + 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready copy of the counters."""
+        return {
+            "checkout_requests": self.checkout_requests,
+            "commits": self.commits,
+            "coalesced_requests": self.coalesced_requests,
+            "deltas_applied": self.deltas_applied,
+            "naive_delta_applications": self.naive_delta_applications,
+            "recreation_cost_paid": self.recreation_cost_paid,
+            "recreation_cost_predicted": self.recreation_cost_predicted,
+            "per_version": dict(self.per_version),
+        }
+
+
+class _Inflight:
+    """Rendezvous for requests coalescing onto one in-progress checkout."""
+
+    __slots__ = ("event", "response", "error", "predicted_cost")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: CheckoutResponse | None = None
+        self.error: BaseException | None = None
+        self.predicted_cost = 0.0
+
+
+class VersionStoreService:
+    """Serve commits and checkouts from one repository, warm and thread-safe.
+
+    The service keeps its *own* :class:`BatchMaterializer` (it does not
+    reuse the repository's): its cache is the service's working set, sized
+    by ``cache_size``, and persists across every request the process serves.
+    All repository access is serialized by an internal lock — concurrency
+    pays off through coalescing and the warm cache, while the storage layer
+    itself stays single-writer.
+
+    ``on_commit`` is called after every successful commit, while the
+    serving lock is still held — so the persisted state can never race a
+    concurrent commit, but slow callbacks stall checkouts for their
+    duration; the CLI uses it to persist the repository state file.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        *,
+        cache_size: int = 256,
+        strategy: str = "dfs",
+        on_commit: Callable[[Repository], None] | None = None,
+    ) -> None:
+        self.repository = repository
+        self.materializer = BatchMaterializer(
+            repository.store,
+            repository.encoder,
+            cache_size=cache_size,
+            strategy=strategy,
+        )
+        self.stats_counters = ServiceStats()
+        self._on_commit = on_commit
+        # serve_lock serializes repository/materializer/backend work (it is
+        # public so transports can serialize raw backend access — the
+        # /objects endpoints — with request serving); _state_lock guards
+        # the inflight table and the stats counters (never held while
+        # replaying, so waiters can register while the leader works).
+        self.serve_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._inflight: dict[VersionID, _Inflight] = {}
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def commit(
+        self,
+        payload: Any,
+        *,
+        parents: Iterable[VersionID] | None = None,
+        message: str = "",
+        branch: str | None = None,
+    ) -> VersionID:
+        """Commit a new version (optionally on ``branch``) and return its id."""
+        with self.serve_lock:
+            if branch is not None:
+                if branch not in self.repository.branches:
+                    self.repository.branch(branch)
+                self.repository.switch(branch)
+            version_id = self.repository.commit(
+                payload,
+                parents=tuple(parents) if parents is not None else None,
+                message=message,
+            )
+            if self._on_commit is not None:
+                self._on_commit(self.repository)
+        with self._state_lock:
+            self.stats_counters.commits += 1
+        return version_id
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def checkout(self, version_id: VersionID) -> CheckoutResponse:
+        """Serve one version through the warm cache, coalescing duplicates.
+
+        Concurrent requests for the same version share a single chain
+        replay: whichever request arrives first leads and materializes, the
+        rest block until the leader finishes and return the identical
+        payload (marked ``coalesced=True``).
+        """
+        with self._state_lock:
+            entry = self._inflight.get(version_id)
+            leader = entry is None
+            if leader:
+                entry = _Inflight()
+                self._inflight[version_id] = entry
+        if not leader:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            assert entry.response is not None
+            response = CheckoutResponse(
+                version_id=version_id,
+                payload=entry.response.payload,
+                chain_length=entry.response.chain_length,
+                recreation_cost=0.0,
+                deltas_applied=0,
+                cache_hits=entry.response.chain_length + 1,
+                coalesced=True,
+            )
+            with self._state_lock:
+                self.stats_counters.record_checkout(
+                    version_id,
+                    chain_length=response.chain_length,
+                    deltas_applied=0,
+                    recreation_cost=0.0,
+                    predicted_cost=entry.predicted_cost,
+                    coalesced=True,
+                )
+            return response
+
+        try:
+            with self.serve_lock:
+                object_id = self.repository.object_id_of(version_id)
+                item = self.materializer.materialize(object_id)
+            response = CheckoutResponse(
+                version_id=version_id,
+                payload=item.payload,
+                chain_length=item.chain_length,
+                recreation_cost=item.recreation_cost,
+                deltas_applied=item.deltas_applied,
+                cache_hits=item.cache_hits,
+            )
+            entry.predicted_cost = item.predicted_cost
+            entry.response = response
+            with self._state_lock:
+                self.stats_counters.record_checkout(
+                    version_id,
+                    chain_length=item.chain_length,
+                    deltas_applied=item.deltas_applied,
+                    recreation_cost=item.recreation_cost,
+                    predicted_cost=item.predicted_cost,
+                )
+            return response
+        except BaseException as error:
+            entry.error = error
+            raise
+        finally:
+            with self._state_lock:
+                self._inflight.pop(version_id, None)
+            entry.event.set()
+
+    def checkout_many(self, version_ids: Sequence[VersionID]) -> BatchResult:
+        """Serve a whole batch through the warm cache (union-tree replay)."""
+        with self.serve_lock:
+            requests = [
+                (vid, self.repository.object_id_of(vid)) for vid in version_ids
+            ]
+            result = self.materializer.materialize_many(requests)
+        with self._state_lock:
+            for vid, _ in requests:
+                item = result.items[vid]
+                self.stats_counters.record_checkout(
+                    vid,
+                    chain_length=item.chain_length,
+                    deltas_applied=item.deltas_applied,
+                    recreation_cost=item.recreation_cost,
+                    predicted_cost=item.predicted_cost,
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Serving counters plus a snapshot of the repository behind them."""
+        with self.serve_lock:
+            repository = {
+                "versions": len(self.repository),
+                "branches": dict(self.repository.branches),
+                "current_branch": self.repository.current_branch,
+                "objects": len(self.repository.store),
+                "storage_cost": self.repository.total_storage_cost(),
+                "backend": self.repository.store.backend.spec(),
+            }
+        with self._state_lock:
+            serving = self.stats_counters.snapshot()
+        serving["cache"] = {
+            "capacity": self.materializer.cache.capacity,
+            "entries": len(self.materializer.cache),
+            "hits": self.materializer.cache.hits,
+            "misses": self.materializer.cache.misses,
+            "strategy": self.materializer.strategy,
+        }
+        return {"serving": serving, "repository": repository}
+
+    def plan(
+        self,
+        *,
+        problem: int = 3,
+        threshold: float | None = None,
+        threshold_factor: float | None = None,
+        hop_limit: int = 2,
+        algorithm: str = "auto",
+    ) -> dict[str, Any]:
+        """Compute an optimized storage plan for the served repository.
+
+        Measures the cost model from live payloads (an expensive full scan —
+        intended for operators, not the request hot path), solves the chosen
+        problem and returns the metrics plus the plan itself.  The plan is
+        *not* applied; repacking a live service remains an offline step.
+        """
+        if len(self.repository) == 0:
+            raise ReproError("cannot plan over an empty repository")
+        with self.serve_lock:
+            instance = self.repository.problem_instance(hop_limit=hop_limit)
+        resolved = default_threshold(
+            instance, problem, threshold=threshold, factor=threshold_factor
+        )
+        result = solve(instance, problem, threshold=resolved, algorithm=algorithm)
+        return {
+            "problem": int(problem),
+            "algorithm": result.algorithm,
+            "threshold": resolved,
+            "metrics": {
+                "storage_cost": result.metrics.storage_cost,
+                "sum_recreation": result.metrics.sum_recreation,
+                "max_recreation": result.metrics.max_recreation,
+                "materialized_versions": result.metrics.num_materialized,
+            },
+            "plan": result.plan.to_dict(),
+        }

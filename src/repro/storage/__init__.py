@@ -1,7 +1,8 @@
 """The prototype version-management system (DataHub-style).
 
 * :mod:`~repro.storage.backends` — pluggable keyed blob stores
-  (``memory://``, ``file://``, ``zip://``) the object store delegates to;
+  (``memory://``, ``file://``, ``zip://``, ``shard://``, remote ``http://``)
+  the object store delegates to;
 * :mod:`~repro.storage.objects` — content-addressed store for full objects
   and deltas;
 * :mod:`~repro.storage.materializer` — reconstructs payloads by replaying
@@ -20,8 +21,10 @@ from .backends import (
     CompressedFilesystemBackend,
     FilesystemBackend,
     MemoryBackend,
+    ShardedBackend,
     StorageBackend,
     open_backend,
+    register_backend,
 )
 from .batch import BatchItem, BatchMaterializer, BatchResult
 from .materializer import LRUPayloadCache, MaterializationResult, Materializer
@@ -34,8 +37,10 @@ __all__ = [
     "CompressedFilesystemBackend",
     "FilesystemBackend",
     "MemoryBackend",
+    "ShardedBackend",
     "StorageBackend",
     "open_backend",
+    "register_backend",
     "BatchItem",
     "BatchMaterializer",
     "BatchResult",

@@ -6,12 +6,21 @@ checkouts — a dashboard rebuilding every branch head, a CI farm checking out
 fifty snapshots of the same lineage — can do much better: chains that share
 a prefix only need that prefix replayed once.
 
-:class:`BatchMaterializer` implements that amortization.  Requests are
-ordered so that chains sharing a prefix are processed back to back (sorting
-by the chain's object-id tuple puts every prefix immediately before its
-extensions), and every intermediate payload is parked in a bounded
-:class:`~repro.storage.materializer.LRUPayloadCache`.  Each request then
-only pays for the suffix below its deepest cached ancestor.
+:class:`BatchMaterializer` implements that amortization.  The default
+``"dfs"`` strategy overlays every requested chain into a *union tree* (chains
+are root-first and each object has a unique base, so the overlay is a
+forest) and walks it depth-first, carrying the payload of the current path
+on the traversal stack.  Every shared prefix is therefore replayed exactly
+once per batch — a guarantee that holds even with a tiny or disabled
+payload cache.  The ``"lru"`` strategy keeps the original scheduler:
+requests are ordered so that chains sharing a prefix are processed back to
+back (sorting by the chain's object-id tuple puts every prefix immediately
+before its extensions) and intermediate payloads are parked in a bounded
+:class:`~repro.storage.materializer.LRUPayloadCache`, so each request only
+pays for the suffix below its deepest cached ancestor.  Both strategies
+read and warm the same persistent LRU cache, which is what lets a
+long-lived serving process answer repeat requests without replaying
+anything.
 
 The result reports, per version and in aggregate, the recreation cost
 *actually paid* next to the chain cost the storage plan *predicts* (the Φ
@@ -29,7 +38,7 @@ from ..exceptions import ObjectNotFoundError
 from .materializer import LRUPayloadCache, replay_chain
 from .objects import ObjectStore
 
-__all__ = ["BatchMaterializer", "BatchItem", "BatchResult"]
+__all__ = ["BatchMaterializer", "BatchItem", "BatchResult", "STRATEGIES"]
 
 
 @dataclass(frozen=True)
@@ -111,8 +120,18 @@ class BatchResult:
         }
 
 
+#: Scheduling strategies understood by :class:`BatchMaterializer`.
+STRATEGIES = ("dfs", "lru")
+
+
 class BatchMaterializer:
     """Materializes many objects at once, replaying shared prefixes once.
+
+    ``strategy`` selects the batch scheduler: ``"dfs"`` (default) walks the
+    union tree of all requested chains depth-first and guarantees a single
+    replay of every shared prefix regardless of cache size; ``"lru"`` is the
+    original sorted-schedule scheduler whose sharing degrades gracefully to
+    sequential replay as the cache shrinks.
 
     The cache persists across :meth:`materialize_many` calls, so a serving
     loop keeps benefiting from earlier batches; call :meth:`clear_cache`
@@ -125,9 +144,14 @@ class BatchMaterializer:
         encoder: DeltaEncoder,
         *,
         cache_size: int = 64,
+        strategy: str = "dfs",
     ) -> None:
+        if strategy not in STRATEGIES:
+            known = ", ".join(STRATEGIES)
+            raise ValueError(f"unknown batch strategy {strategy!r} (known: {known})")
         self.store = store
         self.encoder = encoder
+        self.strategy = strategy
         self.cache = LRUPayloadCache(cache_size)
         # Chain metadata is content-addressed and immutable, so it is
         # memoized for the materializer's lifetime: repeated materialize()
@@ -150,25 +174,27 @@ class BatchMaterializer:
             for request in requests
         ]
 
-        # Resolve every distinct chain up front, then order the work so that
-        # chains sharing a prefix run back to back: sorting by the chain's
-        # id tuple places each prefix immediately before its extensions,
-        # which is exactly the order a bounded LRU exploits best.  Only
-        # per-object *metadata* (base id + Φ contribution) is retained
-        # across batches; the objects themselves are fetched transiently
-        # during replay, so peak memory stays bounded by the payload cache
-        # no matter how large the batch is.
+        # Resolve every distinct chain up front.  Only per-object *metadata*
+        # (base id + Φ contribution) is retained across batches; the objects
+        # themselves are fetched transiently during replay.
         chains: dict[str, tuple[str, ...]] = {}
         for _, object_id in normalized:
             if object_id not in chains:
                 chains[object_id] = self._resolve_chain(object_id)
-        schedule = sorted(chains, key=lambda oid: chains[oid])
 
-        materialized: dict[str, BatchItem] = {}
-        for object_id in schedule:
-            materialized[object_id] = self._materialize_chain(
-                object_id, chains[object_id]
-            )
+        if self.strategy == "dfs":
+            materialized = self._materialize_union_tree(chains)
+        else:
+            # LRU fallback: order the work so that chains sharing a prefix
+            # run back to back — sorting by the chain's id tuple places each
+            # prefix immediately before its extensions, which is exactly the
+            # order a bounded LRU exploits best.  Peak memory stays bounded
+            # by the payload cache no matter how large the batch is.
+            schedule = sorted(chains, key=lambda oid: chains[oid])
+            materialized = {
+                object_id: self._materialize_chain(object_id, chains[object_id])
+                for object_id in schedule
+            }
 
         # Distinct keys can resolve to the same object (content addressing
         # deduplicates identical payloads): the single materialization's cost
@@ -247,6 +273,129 @@ class BatchMaterializer:
             current_id = link.base_id
         reversed_chain.reverse()
         return tuple(reversed_chain)
+
+    def _materialize_union_tree(
+        self, chains: dict[str, tuple[str, ...]]
+    ) -> dict[str, BatchItem]:
+        """Materialize every requested chain via one DFS over their union.
+
+        Chains are root-first and every delta object names a unique base, so
+        overlaying them yields a forest.  The traversal carries the payload
+        of the current root-to-node path on its stack, which is what lets a
+        shared prefix be replayed exactly once per batch even when the LRU
+        cache is tiny or disabled; the cache is still consulted (warm
+        serving across batches) and re-warmed on the way down.
+
+        Per-item accounting charges each node's actually-paid cost to the
+        first request (in ``chains`` order) whose chain contains it, so the
+        per-item numbers sum to exactly what the batch paid and every item
+        stays at or below its Φ prediction.
+        """
+        # Trim every chain at its deepest cached ancestor (the same probe
+        # replay_chain performs), so a warm repeat request replays nothing
+        # even when intermediate prefix nodes have been evicted.  The cached
+        # payload is captured *now*: puts during the traversal can evict it
+        # from the LRU before its subtree is reached, and a trimmed suffix
+        # must never find itself without a base.
+        captured: dict[str, Any] = {}
+        trimmed: dict[str, tuple[str, ...]] = {}
+        for object_id, chain_ids in chains.items():
+            start = 0
+            for index in range(len(chain_ids) - 1, -1, -1):
+                cached = self.cache.get(chain_ids[index])
+                if not LRUPayloadCache.is_miss(cached):
+                    captured.setdefault(chain_ids[index], cached)
+                    start = index
+                    break
+            trimmed[object_id] = chain_ids[start:]
+
+        # A node can enter the tree both as a trim-point root (one chain
+        # found it cached) and as an interior node of a longer untrimmed
+        # chain; first insertion wins, and since every trim point carries a
+        # captured payload the traversal is correct either way.
+        children: dict[str | None, list[str]] = {}
+        in_tree: set[str] = set()
+        for chain_ids in trimmed.values():
+            parent: str | None = None
+            for oid in chain_ids:
+                if oid not in in_tree:
+                    in_tree.add(oid)
+                    children.setdefault(parent, []).append(oid)
+                parent = oid
+        for kids in children.values():
+            kids.sort()
+
+        requested = set(chains)
+        payloads: dict[str, Any] = {}
+        node_cost: dict[str, float] = {}
+        node_is_delta_replay: dict[str, bool] = {}
+        node_cache_hit: dict[str, bool] = {}
+
+        stack: list[tuple[str, Any]] = [
+            (root, None) for root in reversed(children.get(None, []))
+        ]
+        while stack:
+            oid, base_payload = stack.pop()
+            cached = captured[oid] if oid in captured else self.cache.get(oid)
+            if oid in captured or not LRUPayloadCache.is_miss(cached):
+                payload = cached
+                node_cost[oid] = 0.0
+                node_is_delta_replay[oid] = False
+                node_cache_hit[oid] = True
+            else:
+                obj = self.store.get(oid)
+                if not obj.is_delta:
+                    payload = obj.payload
+                    node_cost[oid] = obj.storage_cost()
+                    node_is_delta_replay[oid] = False
+                else:
+                    if base_payload is None:
+                        raise ObjectNotFoundError(
+                            f"delta object {oid!r} has no materialized base"
+                        )
+                    payload = self.encoder.apply(base_payload, obj.payload)
+                    node_cost[oid] = obj.payload.recreation_cost
+                    node_is_delta_replay[oid] = True
+                node_cache_hit[oid] = False
+                self.cache.put(oid, payload)
+            if oid in requested:
+                payloads[oid] = payload
+            for child in reversed(children.get(oid, [])):
+                stack.append((child, payload))
+
+        charged: set[str] = set()
+        materialized: dict[str, BatchItem] = {}
+        for object_id, chain_ids in chains.items():
+            paid = 0.0
+            deltas_applied = 0
+            suffix = trimmed[object_id]
+            # Nodes above the trim point were served by the cached ancestor,
+            # never this request; only the traversed suffix can be charged.
+            cache_hits = len(chain_ids) - len(suffix)
+            for oid in suffix:
+                if oid in charged:
+                    cache_hits += 1
+                    continue
+                charged.add(oid)
+                if node_cache_hit[oid]:
+                    cache_hits += 1
+                else:
+                    paid += node_cost[oid]
+                    if node_is_delta_replay[oid]:
+                        deltas_applied += 1
+            materialized[object_id] = BatchItem(
+                key=object_id,
+                object_id=object_id,
+                payload=payloads[object_id],
+                chain_length=len(chain_ids) - 1,
+                predicted_cost=sum(
+                    self._chain_info[oid].phi_contribution for oid in chain_ids
+                ),
+                recreation_cost=paid,
+                deltas_applied=deltas_applied,
+                cache_hits=cache_hits,
+            )
+        return materialized
 
     def _materialize_chain(
         self, object_id: str, chain_ids: tuple[str, ...]

@@ -88,13 +88,14 @@ class Repository:
         backend: str | StorageBackend | None = None,
         cache_size: int = 4,
         batch_cache_size: int = 64,
+        batch_strategy: str = "dfs",
         delta_against_parent: bool = True,
     ) -> None:
         self.encoder = encoder if encoder is not None else LineDiffEncoder()
         self.store = ObjectStore(directory=directory, backend=backend)
         self.materializer = Materializer(self.store, self.encoder, cache_size=cache_size)
         self.batch_materializer = BatchMaterializer(
-            self.store, self.encoder, cache_size=batch_cache_size
+            self.store, self.encoder, cache_size=batch_cache_size, strategy=batch_strategy
         )
         self.graph = VersionGraph()
         self.delta_against_parent = bool(delta_against_parent)
@@ -295,6 +296,15 @@ class Repository:
         Deltas are computed with the repository's encoder between the pairs
         given (default: all ordered pairs within ``hop_limit`` undirected
         hops in the version graph).
+
+        Symmetric encoders (``cell``, ``two-way-line``) produce one delta
+        usable in both directions, yet their measured costs can still depend
+        on which endpoint was diffed against which — while the undirected
+        cost model collapses both directions into a single entry.  To keep
+        the model independent of pair iteration order, each unordered pair
+        is canonicalized to the *max* of both directions (the conservative
+        bound: a plan priced with it never under-states storage or
+        recreation whichever way the delta is replayed).
         """
         model = CostModel(directed=not self.encoder.symmetric, phi_equals_delta=False)
         payloads: dict[VersionID, Any] = {}
@@ -311,9 +321,25 @@ class Repository:
                 )
         else:
             selected = list(pairs)
-        for source, target in selected:
-            delta = self.encoder.diff(payloads[source], payloads[target])
-            model.set_delta(source, target, delta.storage_cost, delta.recreation_cost)
+        if model.directed:
+            for source, target in selected:
+                delta = self.encoder.diff(payloads[source], payloads[target])
+                model.set_delta(source, target, delta.storage_cost, delta.recreation_cost)
+        else:
+            measured: set[frozenset] = set()
+            for source, target in selected:
+                pair_key = frozenset((source, target))
+                if pair_key in measured:
+                    continue
+                measured.add(pair_key)
+                forward = self.encoder.diff(payloads[source], payloads[target])
+                backward = self.encoder.diff(payloads[target], payloads[source])
+                model.set_delta(
+                    source,
+                    target,
+                    max(forward.storage_cost, backward.storage_cost),
+                    max(forward.recreation_cost, backward.recreation_cost),
+                )
         return model
 
     def problem_instance(

@@ -77,13 +77,25 @@ class TestCheckoutMany:
             assert result.items[vid].payload == repo.checkout(vid, record_stats=False).payload
         assert result.deltas_applied <= result.naive_delta_applications
 
-    def test_zero_cache_degenerates_to_sequential(self):
+    def test_zero_cache_lru_degenerates_to_sequential(self):
+        """The LRU fallback loses all sharing without a cache to park payloads."""
         repo, version_ids = build_chain_repo(8)
-        cold = BatchMaterializer(repo.store, repo.encoder, cache_size=0)
+        cold = BatchMaterializer(repo.store, repo.encoder, cache_size=0, strategy="lru")
         result = cold.materialize_many(
             [(vid, repo.object_id_of(vid)) for vid in version_ids]
         )
         assert result.deltas_applied == result.naive_delta_applications
+
+    def test_zero_cache_dfs_still_shares_prefixes(self):
+        """The union-tree DFS replays each shared prefix once even cache-less."""
+        repo, version_ids = build_chain_repo(8)
+        cold = BatchMaterializer(repo.store, repo.encoder, cache_size=0, strategy="dfs")
+        result = cold.materialize_many(
+            [(vid, repo.object_id_of(vid)) for vid in version_ids]
+        )
+        assert result.deltas_applied == len(version_ids) - 1
+        for vid in version_ids:
+            assert result.items[vid].payload == repo.checkout(vid, record_stats=False).payload
 
     def test_branched_history_shares_the_common_prefix(self):
         repo = Repository(cache_size=0)
