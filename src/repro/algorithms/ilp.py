@@ -88,9 +88,23 @@ def solve_ilp_sum_recreation(
     recreation_threshold: float,
     *,
     time_limit: float | None = 60.0,
+    use_workload: bool = False,
 ) -> StoragePlan:
-    """Problem 5 solved exactly: minimize storage with ``Σ r_i ≤ θ``."""
-    return _solve_milp(instance, recreation_threshold, aggregate="sum", time_limit=time_limit)
+    """Problem 5 solved exactly: minimize storage with ``Σ r_i ≤ θ``.
+
+    With ``use_workload`` the constraint becomes the Figure-16 weighted form
+    ``Σ fᵢ·rᵢ ≤ θ`` using the instance's access frequencies, matching what
+    the workload-aware LMG heuristic optimizes (and the scale
+    :func:`~repro.core.problems.default_threshold` prices θ on for workload
+    instances).
+    """
+    return _solve_milp(
+        instance,
+        recreation_threshold,
+        aggregate="sum",
+        time_limit=time_limit,
+        use_workload=use_workload,
+    )
 
 
 def _solve_milp(
@@ -99,6 +113,7 @@ def _solve_milp(
     *,
     aggregate: str,
     time_limit: float | None,
+    use_workload: bool = False,
 ) -> StoragePlan:
     # Shortcut: when the storage-optimal tree already satisfies the
     # recreation constraint it is the exact optimum (its storage cost is a
@@ -109,9 +124,12 @@ def _solve_milp(
 
     mca_plan = minimum_storage_plan(instance)
     mca_metrics = mca_plan.evaluate(instance)
-    mca_value = (
-        mca_metrics.max_recreation if aggregate == "max" else mca_metrics.sum_recreation
-    )
+    if aggregate == "max":
+        mca_value = mca_metrics.max_recreation
+    elif use_workload:
+        mca_value = mca_metrics.weighted_recreation
+    else:
+        mca_value = mca_metrics.sum_recreation
     if mca_value <= threshold * (1 + 1e-12) + 1e-9:
         return mca_plan
 
@@ -163,7 +181,14 @@ def _solve_milp(
     lower = np.zeros(num_vars)
     upper = np.empty(num_vars)
     upper[:m] = 1.0
-    upper[m:] = recreation_cap if aggregate == "max" else min(float(threshold), chain_bound)
+    if aggregate == "max":
+        upper[m:] = recreation_cap
+    elif use_workload:
+        # Σ fᵢ·rᵢ ≤ θ bounds an individual rᵢ by θ/fᵢ at best (nothing at
+        # all for fᵢ = 0), so only the structural chain bound is valid here.
+        upper[m:] = chain_bound
+    else:
+        upper[m:] = min(float(threshold), chain_bound)
     for vid, index in version_index.items():
         lower[m + index] = spt_distance.get(vid, 0.0)
     bounds = Bounds(lb=lower, ub=upper)
@@ -205,11 +230,13 @@ def _solve_milp(
         LinearConstraint(cuts.tocsr(), lb=np.zeros(m), ub=np.full(m, np.inf))
     )
 
-    # (3) Aggregate recreation constraint for the sum variant.
+    # (3) Aggregate recreation constraint for the sum variant (frequency
+    # weighted on workload-aware runs, so θ and the row share one scale).
     if aggregate == "sum":
         sum_row = lil_matrix((1, num_vars))
         for vid in versions:
-            sum_row[0, m + version_index[vid]] = 1.0
+            weight = instance.access_frequency(vid) if use_workload else 1.0
+            sum_row[0, m + version_index[vid]] = weight
         constraints.append(
             LinearConstraint(sum_row.tocsr(), lb=np.array([-np.inf]), ub=np.array([threshold]))
         )
@@ -238,7 +265,7 @@ def _solve_milp(
                 return modified_prim(instance, threshold, strict=True)
             from .lmg import solve_problem_5
 
-            return solve_problem_5(instance, threshold)
+            return solve_problem_5(instance, threshold, use_workload=use_workload)
         raise InfeasibleProblemError(
             f"the MILP solver found no feasible plan for threshold {threshold:g} "
             f"({result.message})"

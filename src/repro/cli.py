@@ -14,15 +14,25 @@ repository::
     python -m repro checkout    myrepo v1 v2 v3 --batch -o outdir
     python -m repro stats       myrepo
     python -m repro repack      myrepo --problem 3 --threshold-factor 1.5
+    python -m repro repack      myrepo --workload --dry-run
     python -m repro solve       myrepo --problem 6 --threshold 2e6
     python -m repro serve       myrepo --port 8750
 
-``checkout`` and ``stats`` are remote-aware: pass ``http://HOST:PORT`` (a
-running ``repro serve`` process) instead of a repository directory and the
-command is served over the JSON API with the server's warm cache::
+``checkout``, ``stats`` and ``repack`` are remote-aware: pass
+``http://HOST:PORT`` (a running ``repro serve`` process) instead of a
+repository directory and the command is served over the JSON API with the
+server's warm cache (``repack`` triggers the server's *online* repack,
+which re-encodes the store while checkouts keep being served)::
 
     python -m repro checkout    http://127.0.0.1:8750 v3 -o restored.csv
     python -m repro stats       http://127.0.0.1:8750
+    python -m repro repack      http://127.0.0.1:8750 --workload
+
+Checkouts — local one-shots and served ones alike — are recorded in a
+persistent per-repository workload log (``workload.log``), so ``repack
+--workload`` optimizes the storage plan against the access frequencies the
+repository actually observed (the paper's Figure 16 workload-aware
+problems).
 
 The repository state (version graph, branch heads and the object-id mapping)
 is persisted as JSON next to the object store, so successive invocations
@@ -50,12 +60,24 @@ from .core.problems import default_threshold, solve
 from .delta.line_diff import LineDiffEncoder
 from .exceptions import ReproError
 from .storage.repository import Repository
+from .storage.workload_log import WorkloadLog
 
 __all__ = ["main", "build_parser", "load_repository", "save_repository"]
 
 _STATE_FILE = "repro_state.json"
 _OBJECTS_DIR = "objects"
 _DEFAULT_BACKEND = f"file://{_OBJECTS_DIR}"
+_WORKLOAD_FILE = "workload.log"
+
+
+def open_workload_log(directory: str) -> WorkloadLog:
+    """The repository's persistent access-frequency log.
+
+    Lives next to the state file, so checkouts served by any process —
+    CLI one-shots and ``repro serve`` alike — accumulate into one record
+    that ``repro repack --workload`` can optimize against.
+    """
+    return WorkloadLog(os.path.join(directory, _WORKLOAD_FILE))
 
 
 def _resolve_backend_spec(spec: str, directory: str) -> str:
@@ -250,9 +272,13 @@ def _cmd_checkout(args: argparse.Namespace) -> int:
         return _remote_checkout(args)
     repo = load_repository(args.repository)
     if args.batch or len(args.versions) > 1:
-        return _batch_checkout(repo, args)
+        code = _batch_checkout(repo, args)
+        if code == 0:
+            open_workload_log(args.repository).record_many(args.versions)
+        return code
     version = args.versions[0]
     result = repo.checkout(version)
+    open_workload_log(args.repository).record(version)
     text = "\n".join(result.payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -405,6 +431,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
         stats = ServiceClient(args.repository).stats()
         serving, repository = stats["serving"], stats["repository"]
+        workload = stats.get("workload", {})
+        expected = workload.get("expected_recreation_cost", {})
         rows = [
             ["versions", repository["versions"]],
             ["branches", len(repository["branches"])],
@@ -416,6 +444,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ["deltas applied", serving["deltas_applied"]],
             ["naive delta applications", serving["naive_delta_applications"]],
             ["recreation cost paid", f"{serving['recreation_cost_paid']:.0f}"],
+            ["workload accesses", workload.get("total_accesses", 0)],
+            ["workload versions", workload.get("distinct_versions", 0)],
+            [
+                "expected recreation/request",
+                f"{expected.get('per_request', 0.0):.0f}",
+            ],
+            ["repack epoch", stats.get("repack", {}).get("epoch", 0)],
         ]
         print(format_table(["metric", "value"], rows))
         return 0
@@ -457,13 +492,77 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_report(report: dict, prefix: str = "") -> list[list[str]]:
+    """Nested repack/stats report → two-column table rows."""
+    rows: list[list[str]] = []
+    for key, value in report.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_report(value, prefix=f"{name}."))
+        elif isinstance(value, float):
+            rows.append([name, f"{value:.1f}"])
+        else:
+            rows.append([name, str(value)])
+    return rows
+
+
 def _cmd_repack(args: argparse.Namespace) -> int:
+    if _is_remote(args.repository):
+        from .server.remote import ServiceClient
+
+        options: dict = {
+            "problem": args.problem,
+            "hop_limit": args.hop_limit,
+            "workload": args.workload,
+            "dry_run": args.dry_run,
+        }
+        if args.threshold is not None:
+            options["threshold"] = args.threshold
+        if args.threshold_factor is not None:
+            options["threshold_factor"] = args.threshold_factor
+        report = ServiceClient(args.repository).repack(**options)
+        print(format_table(["metric", "value"], _flatten_report(report)))
+        return 0
+
     repo = load_repository(args.repository)
-    instance = repo.problem_instance(hop_limit=args.hop_limit)
+    frequencies: dict = {}
+    if args.workload:
+        frequencies = open_workload_log(args.repository).frequencies(
+            repo.graph.version_ids
+        )
+        if not frequencies:
+            print("workload log is empty; planning against a uniform workload")
+    instance = repo.problem_instance(
+        access_frequencies=frequencies or None, hop_limit=args.hop_limit
+    )
     threshold = _resolve_threshold(args, instance)
     result = solve(instance, args.problem, threshold=threshold)
-    report = repo.repack(result.plan)
+    if args.dry_run:
+        metrics = result.metrics
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["problem", args.problem],
+                    ["algorithm", result.algorithm],
+                    ["workload aware", str(bool(frequencies))],
+                    ["storage cost", f"{metrics.storage_cost:.1f}"],
+                    ["sum recreation", f"{metrics.sum_recreation:.1f}"],
+                    ["weighted recreation", f"{metrics.weighted_recreation:.1f}"],
+                    ["materialized versions", metrics.num_materialized],
+                ],
+            )
+        )
+        print("dry run: plan not applied")
+        return 0
+    from .storage.repack import OnlineRepacker, expected_workload_cost
+
+    expected_before = expected_workload_cost(repo, frequencies or None)
+    report = OnlineRepacker(repo).repack(result.plan)
+    expected_after = expected_workload_cost(repo, frequencies or None)
     save_repository(repo, args.repository)
+    report["expected_cost_before"] = expected_before["per_request"]
+    report["expected_cost_after"] = expected_after["per_request"]
     print(
         format_table(
             ["metric", "value"],
@@ -486,6 +585,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Persist the state file after every commit so a crash never loses
         # acknowledged versions (objects are already on disk by then).
         on_commit=lambda repository: save_repository(repository, args.repository),
+        # Persist observed access frequencies inside the repository, so the
+        # workload survives restarts and feeds `repro repack --workload`.
+        workload_log=open_workload_log(args.repository),
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -626,7 +728,16 @@ def build_parser() -> argparse.ArgumentParser:
                 else "re-encode the repository according to an optimized plan"
             ),
         )
-        command.add_argument("repository")
+        command.add_argument(
+            "repository",
+            help="repository directory"
+            + (
+                ", or http://HOST:PORT of a running 'repro serve' process "
+                "(triggers an online repack there)"
+                if name == "repack"
+                else ""
+            ),
+        )
         command.add_argument("--problem", type=int, default=3, choices=range(1, 7))
         command.add_argument("--threshold", type=float, default=None)
         command.add_argument(
@@ -639,6 +750,19 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--hop-limit", type=int, default=2)
         if name == "solve":
             command.add_argument("--plan-output", default=None)
+        else:
+            command.add_argument(
+                "--workload",
+                action="store_true",
+                help="plan against the observed access frequencies in the "
+                "repository's workload log (Figure 16 workload-aware "
+                "optimization) instead of a uniform workload",
+            )
+            command.add_argument(
+                "--dry-run",
+                action="store_true",
+                help="compute and report the plan without applying it",
+            )
         command.set_defaults(handler=handler)
 
     return parser

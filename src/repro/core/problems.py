@@ -214,6 +214,11 @@ def default_threshold(
     materialize-everything plan for the recreation-bounded problems 5/6.
     Problems without a constraint resolve to ``None``.  Shared by the CLI
     and the serving layer so both price thresholds identically.
+
+    Workload-aware instances weight problem 5's reference by access
+    frequency (Σ fᵢ·Φᵢᵢ): the θ bound must live on the same scale as the
+    Σ fᵢ·Rᵢ objective LMG then optimizes.  On a uniform workload every
+    frequency is 1 and the reference is unchanged.
     """
     kind = ProblemKind(problem)
     if not PROBLEMS[kind].needs_threshold:
@@ -228,7 +233,8 @@ def default_threshold(
         reference = minimum_storage_plan(instance).storage_cost(instance)
     elif kind is ProblemKind.MIN_STORAGE_SUM_RECREATION:
         reference = sum(
-            instance.materialization_recreation(vid) for vid in instance.version_ids
+            instance.access_frequency(vid) * instance.materialization_recreation(vid)
+            for vid in instance.version_ids
         )
     else:
         reference = max(
@@ -268,6 +274,11 @@ def _dispatch(
         return last.last_plan(instance, **options)
     if algorithm is Algorithm.LMG:
         if kind is ProblemKind.MIN_STORAGE_SUM_RECREATION:
+            # Problem 5 defaults to the unweighted objective; when the
+            # instance carries observed access frequencies (the serving
+            # layer's workload log) the bound and objective switch to the
+            # Figure-16 weighted form unless the caller overrides.
+            options.setdefault("use_workload", instance.has_workload)
             return lmg.solve_problem_5(instance, float(threshold), **options)
         if kind in (ProblemKind.MINSUM_RECREATION, ProblemKind.MINMAX_RECREATION):
             return lmg.local_move_greedy(instance, float(threshold), **options)
@@ -286,6 +297,9 @@ def _dispatch(
         if kind is ProblemKind.MIN_STORAGE_MAX_RECREATION:
             return ilp.solve_ilp_max_recreation(instance, float(threshold), **options)
         if kind is ProblemKind.MIN_STORAGE_SUM_RECREATION:
+            # Keep the exact solver on the same (weighted) scale as the
+            # threshold default_threshold prices for workload instances.
+            options.setdefault("use_workload", instance.has_workload)
             return ilp.solve_ilp_sum_recreation(instance, float(threshold), **options)
         if kind is ProblemKind.MINIMIZE_STORAGE:
             return mst.minimum_storage_plan(instance)

@@ -19,6 +19,10 @@ POST      ``/commit``             ``{"payload": ..., "parents"?, "message"?,
 POST      ``/plan``               ``{"problem"?, "threshold"?,
                                   "threshold_factor"?, "hop_limit"?,
                                   "algorithm"?}`` → metrics + plan
+POST      ``/repack``             ``{"problem"?, "threshold"?,
+                                  "threshold_factor"?, "hop_limit"?,
+                                  "algorithm"?, "workload"?, "dry_run"?}`` —
+                                  workload-aware online repack → report
 ========  ======================  =============================================
 
 Payloads travel as JSON values, so the service API handles any
@@ -28,7 +32,10 @@ lists of strings).
 **Object-store API** (for :class:`~repro.server.remote.RemoteBackend`)
 
 ``GET /objects`` lists keys; ``GET/PUT/DELETE /objects/KEY`` move single
-objects as pickled bytes (``application/octet-stream``).  This is what lets
+objects as pickled bytes (``application/octet-stream``);
+``POST /objects/multiget`` (JSON ``{"keys": [...], "follow_bases"?: bool}``)
+returns many objects — optionally whole delta chains — in one round trip
+as one pickled dict.  This is what lets
 one repro process mount another as its storage backend via an
 ``http://HOST:PORT`` spec.  Pickle implies *trusted peers only* — exactly
 like the ``file://``/``zip://`` backends trust their directory — so bind
@@ -219,6 +226,19 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self._send_json(200, report)
                 return True
+            if parts == ["repack"]:
+                body = self._read_json()
+                report = self.service.repack(
+                    problem=int(body.get("problem", 3)),
+                    threshold=body.get("threshold"),
+                    threshold_factor=body.get("threshold_factor"),
+                    hop_limit=int(body.get("hop_limit", 2)),
+                    algorithm=body.get("algorithm", "auto"),
+                    use_workload=bool(body.get("workload", True)),
+                    dry_run=bool(body.get("dry_run", False)),
+                )
+                self._send_json(200, report)
+                return True
             return False
         return False
 
@@ -233,6 +253,36 @@ class _Handler(BaseHTTPRequestHandler):
             with lock:
                 keys = sorted(backend.keys())
             self._send_json(200, {"keys": keys})
+            return True
+        if method == "POST" and parts == ["objects", "multiget"]:
+            # Batched fetch: many keys — optionally with every object their
+            # delta chains transitively reference — in one exchange, so a
+            # remote peer replays a chain segment in one round trip instead
+            # of one request per object.  Absent keys are omitted.
+            body = self._read_json()
+            keys = body.get("keys")
+            if not isinstance(keys, list):
+                raise ReproError("multiget requires a 'keys' list")
+            follow_bases = bool(body.get("follow_bases", False))
+            found: dict[str, Any] = {}
+            with lock:
+                pending = list(keys)
+                while pending:
+                    key = pending.pop()
+                    if key in found:
+                        continue
+                    try:
+                        value = backend.get(key)
+                    except KeyError:
+                        continue
+                    found[key] = value
+                    if follow_bases:
+                        base_id = getattr(value, "base_id", None)
+                        if base_id is not None and base_id not in found:
+                            pending.append(base_id)
+            self._send_bytes(
+                200, pickle.dumps(found, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             return True
         if len(parts) != 2:
             return False

@@ -65,6 +65,10 @@ class RemoteBackend(StorageBackend):
 
     scheme = "http"
 
+    #: The server walks delta-chain base links server-side, so the object
+    #: store can fetch a whole chain segment in one ``multiget`` round trip.
+    follows_chains = True
+
     def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
         if not base_url:
             raise BackendSpecError("http:// backend requires HOST:PORT")
@@ -88,6 +92,42 @@ class RemoteBackend(StorageBackend):
 
     def delete(self, key: str) -> None:
         self._exchange("DELETE", key)
+
+    def get_many(
+        self, keys: Sequence[str], *, follow_bases: bool = False
+    ) -> dict[str, Any]:
+        """Fetch many objects in one ``POST /objects/multiget`` round trip.
+
+        Absent keys are omitted from the result (mirroring the base-class
+        contract).  With ``follow_bases`` the server also includes every
+        object transitively reachable through delta base links — the whole
+        chain of each requested key in a single exchange, which is what cuts
+        remote chain replay from one round trip per object to one per chain
+        segment.
+        """
+        if not keys:
+            return {}
+        url = f"{self.base_url}/objects/multiget"
+        body = json.dumps(
+            {"keys": list(keys), "follow_bases": bool(follow_bases)}
+        ).encode("utf-8")
+        try:
+            raw = _http(
+                "POST",
+                url,
+                data=body,
+                content_type="application/json",
+                timeout=self.timeout,
+            )
+        except urlerror.HTTPError as error:
+            raise RemoteServiceError(
+                f"POST {url} failed: HTTP {error.code} {error.reason}"
+            ) from error
+        except urlerror.URLError as error:
+            raise RemoteServiceError(
+                f"cannot reach object store at {self.base_url}: {error.reason}"
+            ) from error
+        return pickle.loads(raw)
 
     def keys(self) -> Iterator[str]:
         raw = self._exchange("GET", None)
@@ -189,6 +229,16 @@ class ServiceClient:
 
     def plan(self, **options: Any) -> dict[str, Any]:
         return self._post("/plan", options)
+
+    def repack(self, **options: Any) -> dict[str, Any]:
+        """Trigger a server-side online repack (``POST /repack``).
+
+        Options mirror the endpoint: ``problem``, ``threshold``,
+        ``threshold_factor``, ``hop_limit``, ``algorithm``, ``workload``
+        (default true — plan against the server's persisted workload log)
+        and ``dry_run``.
+        """
+        return self._post("/repack", options)
 
     # -- internals ------------------------------------------------------- #
     def _get(self, path: str) -> dict[str, Any]:

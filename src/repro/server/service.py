@@ -14,7 +14,16 @@ that process's core, independent of any transport:
 * aggregate serving statistics (`deltas_applied` vs the
   ``naive_delta_applications`` a cold sequential server would have paid)
   so the amortization the batch engine promises is observable in
-  production, not only in benchmarks.
+  production, not only in benchmarks;
+* a persistent :class:`~repro.storage.workload_log.WorkloadLog` of
+  per-version access frequencies that survives restarts and feeds the
+  workload-aware optimizers (Figure 16) with *real* traffic;
+* an operator-triggered **online repack** (:meth:`VersionStoreService.repack`)
+  that re-optimizes the storage plan against the logged workload and swaps
+  the new encoding in under a write-pause/epoch scheme: commits wait for
+  the duration, checkouts keep being served from the old epoch while the
+  new one is staged, and the swap itself happens under the serving lock so
+  no request ever observes a mix of epochs.
 
 The HTTP transport lives in :mod:`repro.server.httpd`; this class is also
 usable directly in-process (the serving benchmark does exactly that).
@@ -30,7 +39,9 @@ from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
 from ..exceptions import ReproError
 from ..storage.batch import BatchMaterializer, BatchResult
+from ..storage.repack import OnlineRepacker, expected_workload_cost
 from ..storage.repository import Repository
+from ..storage.workload_log import WorkloadLog
 
 __all__ = ["VersionStoreService", "CheckoutResponse", "ServiceStats"]
 
@@ -138,10 +149,11 @@ class VersionStoreService:
     pays off through coalescing and the warm cache, while the storage layer
     itself stays single-writer.
 
-    ``on_commit`` is called after every successful commit, while the
-    serving lock is still held — so the persisted state can never race a
-    concurrent commit, but slow callbacks stall checkouts for their
-    duration; the CLI uses it to persist the repository state file.
+    ``on_commit`` is called after every successful commit — and after the
+    swap phase of an online :meth:`repack` — while the serving lock is
+    still held, so the persisted state can never race a concurrent commit,
+    but slow callbacks stall checkouts for their duration; the CLI uses it
+    to persist the repository state file.
     """
 
     def __init__(
@@ -151,6 +163,7 @@ class VersionStoreService:
         cache_size: int = 256,
         strategy: str = "dfs",
         on_commit: Callable[[Repository], None] | None = None,
+        workload_log: WorkloadLog | None = None,
     ) -> None:
         self.repository = repository
         self.materializer = BatchMaterializer(
@@ -161,13 +174,21 @@ class VersionStoreService:
         )
         self.stats_counters = ServiceStats()
         self._on_commit = on_commit
+        # Every served checkout is folded into the workload log; with a
+        # file-backed log (the CLI passes one inside the repository) the
+        # observed frequencies survive restarts and drive `repack`.
+        self.workload_log = workload_log if workload_log is not None else WorkloadLog()
+        self.repacker = OnlineRepacker(repository)
         # serve_lock serializes repository/materializer/backend work (it is
         # public so transports can serialize raw backend access — the
         # /objects endpoints — with request serving); _state_lock guards
         # the inflight table and the stats counters (never held while
         # replaying, so waiters can register while the leader works).
+        # _write_gate pauses commits while a repack is in flight: a version
+        # committed after the plan was computed would not be covered by it.
         self.serve_lock = threading.RLock()
         self._state_lock = threading.Lock()
+        self._write_gate = threading.Lock()
         self._inflight: dict[VersionID, _Inflight] = {}
 
     # ------------------------------------------------------------------ #
@@ -181,21 +202,28 @@ class VersionStoreService:
         message: str = "",
         branch: str | None = None,
     ) -> VersionID:
-        """Commit a new version (optionally on ``branch``) and return its id."""
-        with self.serve_lock:
-            if branch is not None:
-                if branch not in self.repository.branches:
-                    self.repository.branch(branch)
-                self.repository.switch(branch)
-            version_id = self.repository.commit(
-                payload,
-                parents=tuple(parents) if parents is not None else None,
-                message=message,
-            )
-            if self._on_commit is not None:
-                self._on_commit(self.repository)
-        with self._state_lock:
-            self.stats_counters.commits += 1
+        """Commit a new version (optionally on ``branch``) and return its id.
+
+        Commits wait at the write gate while an online repack is in flight
+        (reads keep flowing); the counter is bumped while the serving lock
+        is still held so a stats snapshot never sees a committed version
+        without its commit counted.
+        """
+        with self._write_gate:
+            with self.serve_lock:
+                if branch is not None:
+                    if branch not in self.repository.branches:
+                        self.repository.branch(branch)
+                    self.repository.switch(branch)
+                version_id = self.repository.commit(
+                    payload,
+                    parents=tuple(parents) if parents is not None else None,
+                    message=message,
+                )
+                if self._on_commit is not None:
+                    self._on_commit(self.repository)
+                with self._state_lock:
+                    self.stats_counters.commits += 1
         return version_id
 
     # ------------------------------------------------------------------ #
@@ -238,30 +266,36 @@ class VersionStoreService:
                     predicted_cost=entry.predicted_cost,
                     coalesced=True,
                 )
+            self.workload_log.record(version_id)
             return response
 
         try:
+            # Recording happens while the serving lock is still held, so a
+            # stats snapshot (which takes the same lock) can never observe
+            # the cache counters of a materialization whose serving counters
+            # have not landed yet — no torn reads during a concurrent batch.
             with self.serve_lock:
                 object_id = self.repository.object_id_of(version_id)
                 item = self.materializer.materialize(object_id)
-            response = CheckoutResponse(
-                version_id=version_id,
-                payload=item.payload,
-                chain_length=item.chain_length,
-                recreation_cost=item.recreation_cost,
-                deltas_applied=item.deltas_applied,
-                cache_hits=item.cache_hits,
-            )
-            entry.predicted_cost = item.predicted_cost
-            entry.response = response
-            with self._state_lock:
-                self.stats_counters.record_checkout(
-                    version_id,
+                response = CheckoutResponse(
+                    version_id=version_id,
+                    payload=item.payload,
                     chain_length=item.chain_length,
-                    deltas_applied=item.deltas_applied,
                     recreation_cost=item.recreation_cost,
-                    predicted_cost=item.predicted_cost,
+                    deltas_applied=item.deltas_applied,
+                    cache_hits=item.cache_hits,
                 )
+                entry.predicted_cost = item.predicted_cost
+                entry.response = response
+                with self._state_lock:
+                    self.stats_counters.record_checkout(
+                        version_id,
+                        chain_length=item.chain_length,
+                        deltas_applied=item.deltas_applied,
+                        recreation_cost=item.recreation_cost,
+                        predicted_cost=item.predicted_cost,
+                    )
+            self.workload_log.record(version_id)
             return response
         except BaseException as error:
             entry.error = error
@@ -272,30 +306,58 @@ class VersionStoreService:
             entry.event.set()
 
     def checkout_many(self, version_ids: Sequence[VersionID]) -> BatchResult:
-        """Serve a whole batch through the warm cache (union-tree replay)."""
+        """Serve a whole batch through the warm cache (union-tree replay).
+
+        The batch's counters land while the serving lock is still held —
+        see :meth:`checkout` — so stats snapshots stay coherent.
+        """
         with self.serve_lock:
             requests = [
                 (vid, self.repository.object_id_of(vid)) for vid in version_ids
             ]
             result = self.materializer.materialize_many(requests)
-        with self._state_lock:
-            for vid, _ in requests:
-                item = result.items[vid]
-                self.stats_counters.record_checkout(
-                    vid,
-                    chain_length=item.chain_length,
-                    deltas_applied=item.deltas_applied,
-                    recreation_cost=item.recreation_cost,
-                    predicted_cost=item.predicted_cost,
-                )
+            with self._state_lock:
+                for vid, _ in requests:
+                    item = result.items[vid]
+                    self.stats_counters.record_checkout(
+                        vid,
+                        chain_length=item.chain_length,
+                        deltas_applied=item.deltas_applied,
+                        recreation_cost=item.recreation_cost,
+                        predicted_cost=item.predicted_cost,
+                    )
+        self.workload_log.record_many(vid for vid, _ in requests)
         return result
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
-        """Serving counters plus a snapshot of the repository behind them."""
+        """Serving counters plus a snapshot of the repository behind them.
+
+        The snapshot — serving counters, cache counters, repository state
+        and repack epoch — is taken under the serving lock (counters
+        additionally under the state lock), so a concurrent batch can never
+        produce a torn read of those: either all of its effects are visible
+        in the snapshot or none are.  Workload-log totals are recorded
+        outside the serving lock (appends do file I/O) and may trail the
+        request counters by the few in-flight requests — eventually
+        consistent, never torn internally.
+
+        ``workload.expected_recreation_cost`` prices the logged workload
+        against the *current* encoding (Φ chain sums, no replay): the
+        number an online repack is supposed to shrink.
+        """
         with self.serve_lock:
+            with self._state_lock:
+                serving = self.stats_counters.snapshot()
+                serving["cache"] = {
+                    "capacity": self.materializer.cache.capacity,
+                    "entries": len(self.materializer.cache),
+                    "hits": self.materializer.cache.hits,
+                    "misses": self.materializer.cache.misses,
+                    "strategy": self.materializer.strategy,
+                }
             repository = {
                 "versions": len(self.repository),
                 "branches": dict(self.repository.branches),
@@ -304,16 +366,20 @@ class VersionStoreService:
                 "storage_cost": self.repository.total_storage_cost(),
                 "backend": self.repository.store.backend.spec(),
             }
-        with self._state_lock:
-            serving = self.stats_counters.snapshot()
-        serving["cache"] = {
-            "capacity": self.materializer.cache.capacity,
-            "entries": len(self.materializer.cache),
-            "hits": self.materializer.cache.hits,
-            "misses": self.materializer.cache.misses,
-            "strategy": self.materializer.strategy,
+            workload = self.workload_log.snapshot()
+            frequencies = self.workload_log.frequencies(
+                self.repository.graph.version_ids
+            )
+            workload["expected_recreation_cost"] = expected_workload_cost(
+                self.repository, frequencies or None, reader=self.materializer
+            )
+            repack = {"epoch": self.repacker.epoch}
+        return {
+            "serving": serving,
+            "repository": repository,
+            "workload": workload,
+            "repack": repack,
         }
-        return {"serving": serving, "repository": repository}
 
     def plan(
         self,
@@ -351,3 +417,98 @@ class VersionStoreService:
             },
             "plan": result.plan.to_dict(),
         }
+
+    # ------------------------------------------------------------------ #
+    # online repacking
+    # ------------------------------------------------------------------ #
+    def repack(
+        self,
+        *,
+        problem: int = 3,
+        threshold: float | None = None,
+        threshold_factor: float | None = None,
+        hop_limit: int = 2,
+        algorithm: str = "auto",
+        use_workload: bool = True,
+        dry_run: bool = False,
+    ) -> dict[str, Any]:
+        """Re-optimize the storage plan against observed traffic, online.
+
+        With ``use_workload`` (default) the plan is computed against the
+        persisted workload log's access frequencies — the paper's Figure 16
+        problems fed with real traffic; an empty log falls back to a
+        uniform workload.  The write-pause/epoch scheme:
+
+        1. commits are paused at the write gate for the whole operation
+           (checkouts keep being served throughout);
+        2. the cost model is measured and the plan solved;
+        3. the new encoding is staged next to the old one while readers
+           continue against the old epoch (content-addressed keys are
+           never overwritten, so this is invisible to them);
+        4. under the serving lock — a quick, exclusive window — versions
+           are repointed, dead objects collected, caches dropped and the
+           epoch bumped.  Every checkout is therefore served entirely from
+           one epoch and stays byte-identical across the swap.
+
+        ``dry_run`` stops after step 2 and reports what the repack *would*
+        do.  Returns a JSON-ready report either way.
+        """
+        with self._write_gate:
+            with self.serve_lock:
+                if len(self.repository) == 0:
+                    raise ReproError("cannot repack an empty repository")
+                frequencies = (
+                    self.workload_log.frequencies(self.repository.graph.version_ids)
+                    if use_workload
+                    else {}
+                )
+                instance = self.repository.problem_instance(
+                    access_frequencies=frequencies or None, hop_limit=hop_limit
+                )
+                expected_before = expected_workload_cost(
+                    self.repository, frequencies or None, reader=self.materializer
+                )
+            resolved = default_threshold(
+                instance, problem, threshold=threshold, factor=threshold_factor
+            )
+            result = solve(instance, problem, threshold=resolved, algorithm=algorithm)
+            report: dict[str, Any] = {
+                "problem": int(problem),
+                "algorithm": result.algorithm,
+                "threshold": resolved,
+                "workload_aware": bool(frequencies),
+                "dry_run": bool(dry_run),
+                "plan_metrics": {
+                    "storage_cost": result.metrics.storage_cost,
+                    "sum_recreation": result.metrics.sum_recreation,
+                    "max_recreation": result.metrics.max_recreation,
+                    "weighted_recreation": result.metrics.weighted_recreation,
+                    "materialized_versions": result.metrics.num_materialized,
+                },
+                "expected_cost_before": expected_before,
+            }
+            if dry_run:
+                report["epoch"] = self.repacker.epoch
+                return report
+
+            with self.repacker.lock:
+                # Phase 1 — stage the new encoding; readers keep serving.
+                staged = self.repacker.rebuild(result.plan)
+                # Phase 2 — the exclusive swap window.
+                with self.serve_lock:
+                    swap_report = self.repacker.swap(staged)
+                    # The serving cache holds payloads keyed by dead-epoch
+                    # object ids; drop it inside the same exclusive window.
+                    self.materializer.clear_cache()
+                    if self._on_commit is not None:
+                        # The swap repointed every version and collected the
+                        # old objects; persist the new mapping immediately —
+                        # a crash must not leave a state file naming them.
+                        self._on_commit(self.repository)
+                    expected_after = expected_workload_cost(
+                        self.repository, frequencies or None, reader=self.materializer
+                    )
+            report.update(swap_report)
+            report["epoch"] = self.repacker.epoch
+            report["expected_cost_after"] = expected_after
+        return report

@@ -13,7 +13,11 @@
   plus the bridge to the optimization layer (cost-model measurement and
   plan-driven repacking);
 * :mod:`~repro.storage.planner` — applies a storage plan to the object
-  store (streaming, bounded-memory).
+  store (streaming, bounded-memory);
+* :mod:`~repro.storage.repack` — the online re-packer: stages a new
+  encoding while readers keep serving, then swaps epochs atomically;
+* :mod:`~repro.storage.workload_log` — persistent per-version access
+  frequencies that feed the workload-aware optimizers with real traffic.
 """
 
 from .backends import (
@@ -30,7 +34,9 @@ from .batch import BatchItem, BatchMaterializer, BatchResult
 from .materializer import LRUPayloadCache, MaterializationResult, Materializer
 from .objects import ObjectStore, StoredObject
 from .planner import apply_plan, plan_order
+from .repack import OnlineRepacker, StagedRepack, expected_workload_cost
 from .repository import CheckoutStats, Repository
+from .workload_log import WorkloadLog
 
 __all__ = [
     "BackendSpecError",
@@ -51,6 +57,10 @@ __all__ = [
     "StoredObject",
     "apply_plan",
     "plan_order",
+    "OnlineRepacker",
+    "StagedRepack",
+    "expected_workload_cost",
     "CheckoutStats",
     "Repository",
+    "WorkloadLog",
 ]

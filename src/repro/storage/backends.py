@@ -34,6 +34,7 @@ import hashlib
 import importlib
 import os
 import pickle
+import threading
 import zlib
 from typing import Any, Iterator, Sequence
 
@@ -89,6 +90,20 @@ class StorageBackend(abc.ABC):
         except KeyError:
             return False
         return True
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Any]:
+        """Fetch several keys at once; absent keys are omitted, not errors.
+
+        The default loops over :meth:`get`; network-backed implementations
+        override it with a single batched exchange.
+        """
+        found: dict[str, Any] = {}
+        for key in keys:
+            try:
+                found[key] = self.get(key)
+            except KeyError:
+                continue
+        return found
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -154,8 +169,15 @@ class FilesystemBackend(StorageBackend):
 
     # -- StorageBackend ------------------------------------------------- #
     def put(self, key: str, value: Any) -> None:
-        with open(self._path(key), "wb") as handle:
+        # Write-then-rename: a concurrent reader of the same key (e.g. a
+        # checkout racing a peer's /objects PUT, or any future writer that
+        # bypasses the object store's existence check) sees either the old
+        # complete file or the new complete file, never a truncated one.
+        path = self._path(key)
+        tmp_path = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
+        with open(tmp_path, "wb") as handle:
             handle.write(self._encode(value))
+        os.replace(tmp_path, path)
 
     def get(self, key: str) -> Any:
         try:

@@ -31,7 +31,7 @@ model the optimizers plan against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Hashable, Sequence
 
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
@@ -226,9 +226,73 @@ class BatchMaterializer:
         """Materialize a single object through the shared batch cache.
 
         Useful for serving loops (and the re-packer) that interleave single
-        reads with batches but still want prefix amortization.
+        reads with batches but still want prefix amortization.  On a
+        chain-following remote backend the uncached part of the chain
+        arrives in one round trip and is replayed from that response,
+        instead of one HTTP exchange per object — and warm repeats (chain
+        metadata memoized, payloads cached) perform no exchange at all.
         """
+        if getattr(self.store.backend, "follows_chains", False):
+            return self._materialize_remote(object_id)
         return self._materialize_chain(object_id, self._resolve_chain(object_id))
+
+    def _materialize_remote(self, object_id: str) -> BatchItem:
+        """Segment-batched replay against a chain-following remote backend."""
+        chain_ids = self._memoized_chain_ids(object_id)
+        if chain_ids is None:
+            # First sight of this chain: one multiget resolves *and* carries
+            # every object, so the replay below fetches nothing else.
+            chain = self.store.delta_chain(object_id)
+            self._memoize_chain(chain)
+            by_id = {obj.object_id: obj for obj in chain}
+            return self._materialize_chain(
+                object_id,
+                tuple(obj.object_id for obj in chain),
+                fetch=by_id.__getitem__,
+            )
+        # Metadata already memoized: only the suffix below the deepest
+        # cached payload needs objects — prefetch it in one round trip
+        # (zero round trips when the tip itself is cached).
+        start = 0
+        for index in range(len(chain_ids) - 1, -1, -1):
+            if chain_ids[index] in self.cache:
+                start = index
+                break
+        needed = [oid for oid in chain_ids[start:] if oid not in self.cache]
+        prefetched = self.store.get_many(needed) if needed else {}
+
+        def fetch(oid: str) -> Any:
+            if oid in prefetched:
+                return prefetched[oid]
+            return self.store.get(oid)
+
+        return self._materialize_chain(object_id, chain_ids, fetch=fetch)
+
+    def _memoized_chain_ids(self, object_id: str) -> tuple[str, ...] | None:
+        """The chain of ``object_id`` if resolvable from the metadata memo."""
+        info = self._chain_info
+        reversed_chain: list[str] = []
+        current_id: str | None = object_id
+        while current_id is not None:
+            link = info.get(current_id)
+            if link is None or len(reversed_chain) > len(info):
+                return None
+            reversed_chain.append(current_id)
+            current_id = link.base_id
+        reversed_chain.reverse()
+        return tuple(reversed_chain)
+
+    def predicted_chain_cost(self, object_id: str) -> float:
+        """Φ chain sum of ``object_id`` from chain metadata alone.
+
+        No payload is replayed: only the per-object metadata memo is
+        consulted (and filled on first visit).  This is what prices the
+        *expected* recreation cost of a workload before and after a repack.
+        """
+        chain_ids = self._resolve_chain(object_id)
+        return float(
+            sum(self._chain_info[oid].phi_contribution for oid in chain_ids)
+        )
 
     def clear_cache(self) -> None:
         """Drop every cached payload and chain memo (start the next batch cold)."""
@@ -253,16 +317,21 @@ class BatchMaterializer:
         while current_id is not None:
             link = info.get(current_id)
             if link is None:
-                obj = self.store.get(current_id)
-                link = _ChainLink(
-                    base_id=obj.base_id if obj.is_delta else None,
-                    phi_contribution=(
-                        obj.payload.recreation_cost
-                        if obj.is_delta
-                        else obj.storage_cost()
-                    ),
-                )
-                info[current_id] = link
+                if getattr(self.store.backend, "follows_chains", False):
+                    # One round trip resolves the whole remaining segment.
+                    self._memoize_chain(self.store.delta_chain(current_id))
+                    link = info[current_id]
+                else:
+                    obj = self.store.get(current_id)
+                    link = _ChainLink(
+                        base_id=obj.base_id if obj.is_delta else None,
+                        phi_contribution=(
+                            obj.payload.recreation_cost
+                            if obj.is_delta
+                            else obj.storage_cost()
+                        ),
+                    )
+                    info[current_id] = link
             reversed_chain.append(current_id)
             if link.base_id is not None:
                 if current_id in seen:
@@ -273,6 +342,20 @@ class BatchMaterializer:
             current_id = link.base_id
         reversed_chain.reverse()
         return tuple(reversed_chain)
+
+    def _memoize_chain(self, chain: Sequence[Any]) -> None:
+        """Record chain metadata for every object of a fetched chain."""
+        info = self._chain_info
+        for obj in chain:
+            if obj.object_id not in info:
+                info[obj.object_id] = _ChainLink(
+                    base_id=obj.base_id if obj.is_delta else None,
+                    phi_contribution=(
+                        obj.payload.recreation_cost
+                        if obj.is_delta
+                        else obj.storage_cost()
+                    ),
+                )
 
     def _materialize_union_tree(
         self, chains: dict[str, tuple[str, ...]]
@@ -398,13 +481,17 @@ class BatchMaterializer:
         return materialized
 
     def _materialize_chain(
-        self, object_id: str, chain_ids: tuple[str, ...]
+        self,
+        object_id: str,
+        chain_ids: tuple[str, ...],
+        fetch: Callable[[str], Any] | None = None,
     ) -> BatchItem:
         predicted = sum(
             self._chain_info[oid].phi_contribution for oid in chain_ids
         )
         payload, paid, deltas_applied, cache_hits = replay_chain(
-            chain_ids, self.store.get, self.cache, self.encoder
+            chain_ids, fetch if fetch is not None else self.store.get,
+            self.cache, self.encoder,
         )
         return BatchItem(
             key=object_id,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -79,8 +80,11 @@ class ObjectStore:
         # Lazy id -> storage-cost index: objects are content-addressed, so a
         # cost never changes once stored; maintaining the index on writes
         # keeps total_storage_cost() from re-reading (and, for zip://,
-        # re-inflating) the whole backend on every call.
+        # re-inflating) the whole backend on every call.  The lock keeps the
+        # index coherent when an online repack stages writes while another
+        # thread totals storage for a stats snapshot.
         self._cost_index: dict[str, float] | None = None
+        self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # writing
@@ -108,8 +112,9 @@ class ObjectStore:
     def remove(self, object_id: str) -> None:
         """Remove an object (no error if absent).  Used by the re-packer."""
         self.backend.delete(object_id)
-        if self._cost_index is not None:
-            self._cost_index.pop(object_id, None)
+        with self._index_lock:
+            if self._cost_index is not None:
+                self._cost_index.pop(object_id, None)
 
     # ------------------------------------------------------------------ #
     # reading
@@ -144,20 +149,38 @@ class ObjectStore:
         # listing keys is cheap, and under content addressing a present key
         # can never change cost, so only added/removed ids need reads.
         keys = set(self.backend.keys())
-        if self._cost_index is None:
-            self._cost_index = {}
-        for object_id in [oid for oid in self._cost_index if oid not in keys]:
-            del self._cost_index[object_id]
-        for object_id in keys - self._cost_index.keys():
-            self._cost_index[object_id] = self.backend.get(object_id).storage_cost()
-        return float(sum(self._cost_index.values()))
+        with self._index_lock:
+            if self._cost_index is None:
+                self._cost_index = {}
+            for object_id in [oid for oid in self._cost_index if oid not in keys]:
+                del self._cost_index[object_id]
+            missing = keys - self._cost_index.keys()
+        costs = {oid: self.backend.get(oid).storage_cost() for oid in missing}
+        with self._index_lock:
+            assert self._cost_index is not None
+            self._cost_index.update(costs)
+            return float(
+                sum(self._cost_index[oid] for oid in keys if oid in self._cost_index)
+            )
+
+    def get_many(self, object_ids: list[str]) -> dict[str, StoredObject]:
+        """Fetch several objects at once; absent ids are simply omitted.
+
+        Local backends loop over single gets; a chain-following remote
+        backend answers the whole request in one round trip.
+        """
+        return self.backend.get_many(object_ids)
 
     def delta_chain(self, object_id: str) -> list[StoredObject]:
         """The chain of objects needed to materialize ``object_id``.
 
         The returned list starts at a full object and ends at the requested
-        object; a full object's chain is just itself.
+        object; a full object's chain is just itself.  On a chain-following
+        remote backend the whole chain is fetched in a single round trip
+        (the server walks the base links) instead of one request per object.
         """
+        if getattr(self.backend, "follows_chains", False):
+            return self._remote_delta_chain(object_id)
         chain: list[StoredObject] = []
         current = self.get(object_id)
         seen: set[str] = set()
@@ -174,6 +197,31 @@ class ObjectStore:
         chain.reverse()
         return chain
 
+    def _remote_delta_chain(self, object_id: str) -> list[StoredObject]:
+        """One-round-trip chain fetch against a chain-following backend."""
+        objects = self.backend.get_many([object_id], follow_bases=True)
+        chain: list[StoredObject] = []
+        seen: set[str] = set()
+        current_id: str | None = object_id
+        while current_id is not None:
+            obj = objects.get(current_id)
+            if obj is None:
+                # The server's response was incomplete (or the tip object is
+                # absent); fall back to a single fetch so the error surfaces
+                # with the store's usual translation.
+                obj = self.get(current_id)
+            chain.append(obj)
+            if not obj.is_delta:
+                break
+            if obj.object_id in seen:
+                raise ObjectNotFoundError(
+                    f"delta chain of {object_id!r} contains a cycle"
+                )
+            seen.add(obj.object_id)
+            current_id = obj.base_id
+        chain.reverse()
+        return chain
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -184,5 +232,6 @@ class ObjectStore:
 
     def _store(self, obj: StoredObject) -> None:
         self.backend.put(obj.object_id, obj)
-        if self._cost_index is not None:
-            self._cost_index[obj.object_id] = obj.storage_cost()
+        with self._index_lock:
+            if self._cost_index is not None:
+                self._cost_index[obj.object_id] = obj.storage_cost()

@@ -1,123 +1,39 @@
 """Applying a storage plan to a repository ("repacking").
 
-The optimization algorithms decide *which* versions to materialize and which
-deltas to keep; this module carries that decision out against the object
-store: every version is re-encoded according to the plan (full object or a
-delta against its plan parent), unreferenced objects are dropped, and a
-before/after report is produced so experiments can compare the predicted
-costs of a plan with the costs it realizes on actual payloads.
-
-Re-encoding streams: versions are rewritten in parents-before-children
-order while payloads are read from the *old* encoding through a bounded
-:class:`~repro.storage.batch.BatchMaterializer` cache, so repacking never
-holds every payload of the repository in memory at once — the property that
-lets the re-packer run against repositories larger than RAM, exactly like
-the archival repacking jobs surveyed in the paper's Section 6.
+The actual machinery lives in :mod:`repro.storage.repack`, which splits the
+work into a concurrent-reader-safe rebuild phase and an exclusive swap so a
+*live* repository can be repacked online.  This module keeps the historical
+offline entry points: :func:`apply_plan` re-encodes a repository in one
+call and :func:`plan_order` exposes the parents-before-children ordering
+the re-packer streams through.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..core.instance import ROOT
-from ..core.storage_plan import StoragePlan
-from ..core.version import VersionID
-from ..exceptions import InvalidStoragePlanError
-from .batch import BatchMaterializer
+from .repack import OnlineRepacker, plan_order
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.storage_plan import StoragePlan
     from .repository import Repository
 
 __all__ = ["apply_plan", "plan_order"]
 
 
-def plan_order(plan: StoragePlan) -> list[VersionID]:
-    """Versions of ``plan`` ordered parents-before-children.
-
-    Materialized versions come first, then every delta child after its
-    parent, so the re-packer can always diff against an already re-encoded
-    base.
-    """
-    children = plan.children_map()
-    order: list[VersionID] = []
-    stack = list(reversed(children.get(ROOT, [])))
-    while stack:
-        node = stack.pop()
-        order.append(node)
-        stack.extend(reversed(children.get(node, [])))
-    if len(order) != len(plan):
-        raise InvalidStoragePlanError(
-            "storage plan is not a tree rooted at the dummy vertex"
-        )
-    return order
-
-
 def apply_plan(
     repository: "Repository",
-    plan: StoragePlan,
+    plan: "StoragePlan",
     *,
     payload_cache_size: int = 64,
 ) -> dict[str, float]:
-    """Re-encode ``repository`` according to ``plan``.
+    """Re-encode ``repository`` according to ``plan`` (offline, blocking).
 
     Returns a report with the storage cost before and after repacking, the
     number of materialized versions, and the number of delta objects.
     ``payload_cache_size`` bounds how many old-encoding payloads are kept
     in memory while streaming through the plan.
     """
-    for vid in repository.graph.version_ids:
-        if vid not in plan:
-            raise InvalidStoragePlanError(
-                f"plan does not cover repository version {vid!r}"
-            )
-
-    before = repository.total_storage_cost()
-
-    old_object_of = {
-        vid: repository.object_id_of(vid) for vid in repository.graph.version_ids
-    }
-    old_objects = set(old_object_of.values())
-
-    # Payloads are content — independent of how they are encoded — so the
-    # old encoding can be read lazily while new objects are written.  The
-    # bounded cache makes consecutive reads along shared old chains cheap
-    # without ever pinning the whole repository in memory.
-    old_reader = BatchMaterializer(
-        repository.store, repository.encoder, cache_size=payload_cache_size
-    )
-
-    new_objects: dict[VersionID, str] = {}
-    num_deltas = 0
-    for vid in plan_order(plan):
-        payload = old_reader.materialize(old_object_of[vid]).payload
-        parent = plan.parent(vid)
-        if parent is ROOT:
-            new_objects[vid] = repository.store.put_full(payload)
-            continue
-        parent_payload = old_reader.materialize(old_object_of[parent]).payload
-        delta = repository.encoder.diff(parent_payload, payload)
-        new_objects[vid] = repository.store.put_delta(new_objects[parent], delta)
-        num_deltas += 1
-
-    for vid, object_id in new_objects.items():
-        repository._set_object(vid, object_id)
-
-    # Drop objects that are no longer referenced by any version.
-    referenced: set[str] = set()
-    for vid in repository.graph.version_ids:
-        for obj in repository.store.delta_chain(repository.object_id_of(vid)):
-            referenced.add(obj.object_id)
-    for object_id in old_objects:
-        if object_id not in referenced:
-            repository.store.remove(object_id)
-
-    repository.materializer.clear_cache()
-    repository.batch_materializer.clear_cache()
-    after = repository.total_storage_cost()
-    return {
-        "storage_before": before,
-        "storage_after": after,
-        "num_versions": float(len(plan)),
-        "num_materialized": float(len(plan.materialized_versions())),
-        "num_deltas": float(num_deltas),
-    }
+    return OnlineRepacker(
+        repository, payload_cache_size=payload_cache_size
+    ).repack(plan)

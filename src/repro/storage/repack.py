@@ -1,0 +1,289 @@
+"""Online repacking: re-encode a live repository and swap epochs atomically.
+
+The optimization layer decides *which* versions to materialize and which
+deltas to keep; this module carries that decision out against the object
+store — including while the repository is being served.  The work is split
+into two phases so a long re-encode never blocks readers:
+
+* :meth:`OnlineRepacker.rebuild` (phase 1) streams every version's payload
+  out of the *old* encoding through a bounded
+  :class:`~repro.storage.batch.BatchMaterializer` cache and writes the new
+  encoding next to it.  The store is content-addressed and existing keys
+  are never overwritten, so concurrent readers — who only ever follow the
+  old version→object mapping — are completely unaffected.
+* :meth:`OnlineRepacker.swap` (phase 2) repoints every version at its new
+  object, garbage-collects objects no chain references anymore, drops the
+  repository's payload caches and bumps the *epoch* counter.  The caller
+  must exclude concurrent readers and writers for this (short) phase; the
+  serving layer does so under its serving lock, which is what guarantees a
+  checkout is served entirely from one epoch — never a mix.
+
+``rebuild`` + ``swap`` back :meth:`Repository.repack` (single-threaded
+convenience via :meth:`repack`) as well as the serving layer's
+workload-aware ``POST /repack``.  The streaming property — payloads are
+read lazily, never all pinned in memory — is what lets the re-packer run
+against repositories larger than RAM, exactly like the archival repacking
+jobs surveyed in the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.instance import ROOT
+from ..core.problems import SolveResult, default_threshold, solve
+from ..core.storage_plan import StoragePlan
+from ..core.version import VersionID
+from ..exceptions import InvalidStoragePlanError, ReproError
+from .batch import BatchMaterializer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .repository import Repository
+
+__all__ = [
+    "OnlineRepacker",
+    "StagedRepack",
+    "plan_order",
+    "expected_workload_cost",
+]
+
+
+def plan_order(plan: StoragePlan) -> list[VersionID]:
+    """Versions of ``plan`` ordered parents-before-children.
+
+    Materialized versions come first, then every delta child after its
+    parent, so the re-packer can always diff against an already re-encoded
+    base.
+    """
+    children = plan.children_map()
+    order: list[VersionID] = []
+    stack = list(reversed(children.get(ROOT, [])))
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(reversed(children.get(node, [])))
+    if len(order) != len(plan):
+        raise InvalidStoragePlanError(
+            "storage plan is not a tree rooted at the dummy vertex"
+        )
+    return order
+
+
+def expected_workload_cost(
+    repository: "Repository",
+    frequencies: Mapping[VersionID, float] | None = None,
+    *,
+    reader: BatchMaterializer | None = None,
+) -> dict[str, float]:
+    """Expected recreation cost of serving ``frequencies`` cache-cold.
+
+    Each version's cost is the Φ chain sum of its *current* encoding
+    (pulled from chain metadata, no payload replay), weighted by its access
+    frequency (uniform when ``frequencies`` is ``None``; zero-frequency
+    versions are skipped entirely).  Returns the weighted ``total``, the
+    ``per_request`` mean, and the total ``weight`` — the quantity an online
+    repack is supposed to shrink, measurable before and after without
+    replaying a single request.
+
+    ``reader`` selects which materializer's chain-metadata memo to consult
+    (default: the repository's batch materializer); the serving layer
+    passes its own, already warm from live traffic, so pricing a stats
+    snapshot re-reads as few objects as possible.
+    """
+    if reader is None:
+        reader = repository.batch_materializer
+    total = 0.0
+    weight = 0.0
+    for vid in repository.graph.version_ids:
+        freq = 1.0 if frequencies is None else float(frequencies.get(vid, 0.0))
+        if freq <= 0.0:
+            continue
+        cost = reader.predicted_chain_cost(repository.object_id_of(vid))
+        total += freq * cost
+        weight += freq
+    return {
+        "total": total,
+        "per_request": total / weight if weight > 0 else 0.0,
+        "weight": weight,
+    }
+
+
+@dataclass
+class StagedRepack:
+    """Phase-1 output: the new encoding, written but not yet visible.
+
+    ``new_objects`` maps every version to its new object id;
+    ``old_objects`` snapshots the ids backing versions before the rebuild
+    (the garbage-collection candidates of the swap).
+    """
+
+    plan: StoragePlan
+    new_objects: dict[VersionID, str]
+    old_objects: set[str]
+    num_deltas: int
+    storage_before: float
+
+
+class OnlineRepacker:
+    """Re-encodes a repository according to a storage plan, epoch by epoch.
+
+    One instance owns the repack lifecycle of one repository: it computes
+    plans (optionally workload-aware), stages new encodings concurrently
+    with readers, and performs the exclusive swap.  ``lock`` serializes
+    whole repacks — hold it across a ``rebuild``/``swap`` pair so two
+    operators cannot interleave epochs.
+    """
+
+    def __init__(self, repository: "Repository", *, payload_cache_size: int = 64) -> None:
+        self.repository = repository
+        self.payload_cache_size = int(payload_cache_size)
+        self.epoch = 0
+        self.lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def compute_plan(
+        self,
+        *,
+        problem: int = 3,
+        threshold: float | None = None,
+        threshold_factor: float | None = None,
+        hop_limit: int = 2,
+        algorithm: str = "auto",
+        frequencies: Mapping[VersionID, float] | None = None,
+    ) -> SolveResult:
+        """Solve for a new storage plan over the repository's live payloads.
+
+        ``frequencies`` makes the plan workload-aware: the optimizers weight
+        each version's recreation cost by its observed access frequency
+        (Figure 16), so hot versions end up materialized or on short chains.
+        """
+        if len(self.repository) == 0:
+            raise ReproError("cannot repack an empty repository")
+        instance = self.repository.problem_instance(
+            access_frequencies=dict(frequencies) if frequencies else None,
+            hop_limit=hop_limit,
+        )
+        resolved = default_threshold(
+            instance, problem, threshold=threshold, factor=threshold_factor
+        )
+        return solve(instance, problem, threshold=resolved, algorithm=algorithm)
+
+    # ------------------------------------------------------------------ #
+    # phase 1: concurrent-reader-safe staging
+    # ------------------------------------------------------------------ #
+    def rebuild(self, plan: StoragePlan) -> StagedRepack:
+        """Write the new encoding next to the old one (readers unaffected).
+
+        Safe to run while other threads serve checkouts from the same
+        repository: only *new* content-addressed keys are written (existing
+        keys are never overwritten) and nothing is repointed or deleted.
+        Concurrent *commits* must be paused by the caller — a version
+        committed after planning would not be covered by ``plan``.
+        """
+        repository = self.repository
+        for vid in repository.graph.version_ids:
+            if vid not in plan:
+                raise InvalidStoragePlanError(
+                    f"plan does not cover repository version {vid!r}"
+                )
+
+        storage_before = repository.total_storage_cost()
+        old_object_of = {
+            vid: repository.object_id_of(vid) for vid in repository.graph.version_ids
+        }
+
+        # Payloads are content — independent of how they are encoded — so
+        # the old encoding can be read lazily while new objects are
+        # written.  The bounded cache makes consecutive reads along shared
+        # old chains cheap without ever pinning the whole repository in
+        # memory.
+        old_reader = BatchMaterializer(
+            repository.store, repository.encoder, cache_size=self.payload_cache_size
+        )
+
+        pre_existing = set(repository.store.object_ids())
+        new_objects: dict[VersionID, str] = {}
+        num_deltas = 0
+        try:
+            for vid in plan_order(plan):
+                payload = old_reader.materialize(old_object_of[vid]).payload
+                parent = plan.parent(vid)
+                if parent is ROOT:
+                    new_objects[vid] = repository.store.put_full(payload)
+                    continue
+                parent_payload = old_reader.materialize(old_object_of[parent]).payload
+                delta = repository.encoder.diff(parent_payload, payload)
+                new_objects[vid] = repository.store.put_delta(
+                    new_objects[parent], delta
+                )
+                num_deltas += 1
+        except BaseException:
+            # An aborted staging must not leak half an epoch into the store:
+            # drop every object this rebuild created (never ones that were
+            # shared with the live encoding by content addressing — those
+            # pre-existed).  Readers cannot reference the staged keys, so
+            # removal is safe even mid-traffic.
+            for object_id in set(new_objects.values()) - pre_existing:
+                repository.store.remove(object_id)
+            raise
+
+        return StagedRepack(
+            plan=plan,
+            new_objects=new_objects,
+            old_objects=set(old_object_of.values()),
+            num_deltas=num_deltas,
+            storage_before=storage_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # phase 2: exclusive swap
+    # ------------------------------------------------------------------ #
+    def swap(self, staged: StagedRepack) -> dict[str, float]:
+        """Repoint every version at its new object and collect the garbage.
+
+        The caller must exclude concurrent readers and writers (the serving
+        layer holds its serving lock); the swap itself is quick — repoint,
+        sweep unreferenced objects, drop stale payload caches, bump the
+        epoch.
+        """
+        repository = self.repository
+        for vid, object_id in staged.new_objects.items():
+            repository._set_object(vid, object_id)
+
+        # Drop objects no chain references anymore.  The referenced set is
+        # computed over *current* chains of all versions, so objects shared
+        # between epochs by content addressing survive, as do old-epoch
+        # bases still referenced by chains outside the plan.
+        referenced: set[str] = set()
+        for vid in repository.graph.version_ids:
+            for obj in repository.store.delta_chain(repository.object_id_of(vid)):
+                referenced.add(obj.object_id)
+        for object_id in staged.old_objects:
+            if object_id not in referenced:
+                repository.store.remove(object_id)
+
+        # Stale payloads and chain metadata describe the dead epoch.
+        repository.materializer.clear_cache()
+        repository.batch_materializer.clear_cache()
+        self.epoch += 1
+
+        return {
+            "storage_before": staged.storage_before,
+            "storage_after": repository.total_storage_cost(),
+            "num_versions": float(len(staged.plan)),
+            "num_materialized": float(len(staged.plan.materialized_versions())),
+            "num_deltas": float(staged.num_deltas),
+            "epoch": float(self.epoch),
+        }
+
+    # ------------------------------------------------------------------ #
+    # single-threaded convenience
+    # ------------------------------------------------------------------ #
+    def repack(self, plan: StoragePlan) -> dict[str, float]:
+        """``rebuild`` + ``swap`` under the repack lock (offline callers)."""
+        with self.lock:
+            return self.swap(self.rebuild(plan))

@@ -358,11 +358,13 @@ class Repository:
         Versions the plan materializes are stored in full; versions stored
         as deltas are re-diffed against their plan parent.  Returns a small
         report with the storage cost before and after.  Objects no longer
-        referenced are removed from the store.
+        referenced are removed from the store.  Online (concurrent-reader)
+        repacking is the job of :class:`~repro.storage.repack.OnlineRepacker`,
+        which this method delegates to in its offline one-shot form.
         """
-        from .planner import apply_plan  # local import to avoid a cycle
+        from .repack import OnlineRepacker  # local import to avoid a cycle
 
-        return apply_plan(self, plan)
+        return OnlineRepacker(self).repack(plan)
 
     # ------------------------------------------------------------------ #
     # internals

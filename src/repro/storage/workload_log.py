@@ -1,0 +1,235 @@
+"""A persistent log of per-version access frequencies.
+
+The paper's workload-aware problems (Figure 16) optimize the storage plan
+against *observed* access frequencies, but a serving process that forgets
+its request counters on restart can never feed them real traffic.
+:class:`WorkloadLog` closes that gap: every served checkout is folded into
+an in-memory counter *and* appended to a small append-only file inside the
+repository, so the observed workload survives restarts and can be handed
+to the optimizers (:meth:`frequencies` produces exactly the
+``access_frequencies`` mapping a
+:class:`~repro.core.instance.ProblemInstance` consumes).
+
+Design notes:
+
+* The on-disk format is one JSON array ``[version_id, count]`` per line.
+  Appends are tiny and self-delimiting, so a crash mid-write loses at most
+  the final line — :meth:`_load` tolerates (and drops) a torn tail instead
+  of refusing to start.
+* The file is compacted automatically once it holds many more lines than
+  distinct versions (every version's total collapses to one line), keeping
+  replay-on-start O(distinct versions) for long-lived servers.
+* All operations are thread-safe behind one internal lock; the serving
+  layer calls :meth:`record` from request threads directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Iterable, Sequence
+
+from ..core.version import VersionID
+
+__all__ = ["WorkloadLog"]
+
+#: Compact once the file holds this many times more lines than distinct
+#: versions (and at least ``_COMPACT_MIN_LINES`` lines overall).
+_COMPACT_FACTOR = 8
+_COMPACT_MIN_LINES = 256
+
+
+class WorkloadLog:
+    """Append-only, restart-surviving record of per-version access counts.
+
+    ``path=None`` keeps the log purely in memory (used by tests and
+    embedded services); with a path, counts recorded by a previous process
+    are replayed on construction and every new access is appended.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._counts: dict[VersionID, int] = {}
+        self._total = 0
+        self._file_lines = 0
+        self._needs_newline = False
+        if path is not None and os.path.exists(path):
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, version_id: VersionID, count: int = 1) -> None:
+        """Fold ``count`` accesses of ``version_id`` into the log."""
+        if count <= 0:
+            raise ValueError("access count must be positive")
+        with self._lock:
+            self._counts[version_id] = self._counts.get(version_id, 0) + count
+            self._total += count
+            self._append_locked([(version_id, count)])
+
+    def record_many(self, version_ids: Iterable[VersionID]) -> None:
+        """Record one access per id (one file append for the whole batch)."""
+        entries: dict[VersionID, int] = {}
+        for vid in version_ids:
+            entries[vid] = entries.get(vid, 0) + 1
+        if not entries:
+            return
+        with self._lock:
+            for vid, count in entries.items():
+                self._counts[vid] = self._counts.get(vid, 0) + count
+                self._total += count
+            self._append_locked(entries.items())
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def counts(self) -> dict[VersionID, int]:
+        """Snapshot of the per-version access counts."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of recorded accesses."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        """Number of distinct versions ever accessed."""
+        with self._lock:
+            return len(self._counts)
+
+    def frequencies(
+        self,
+        version_ids: Sequence[VersionID] | None = None,
+        *,
+        smoothing: float = 0.0,
+    ) -> dict[VersionID, float]:
+        """The logged workload as an access-frequency vector.
+
+        With ``version_ids`` the vector covers exactly those versions:
+        logged counts for other (e.g. deleted) versions are dropped and
+        never-accessed versions receive ``smoothing`` (default 0, i.e. the
+        optimizer treats them as free to park on long chains).  Returns an
+        empty mapping when nothing relevant was ever logged — callers
+        should fall back to a uniform workload in that case.
+        """
+        with self._lock:
+            counts = dict(self._counts)
+        if version_ids is None:
+            return {vid: float(count) for vid, count in counts.items()}
+        vector = {vid: float(counts.get(vid, 0)) + smoothing for vid in version_ids}
+        if not any(vector.values()):
+            return {}
+        return vector
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready summary for the service's ``stats`` endpoint."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "total_accesses": self._total,
+                "distinct_versions": len(self._counts),
+            }
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Forget every recorded access (and truncate the file)."""
+        with self._lock:
+            self._counts.clear()
+            self._total = 0
+            self._file_lines = 0
+            self._needs_newline = False
+            if self.path is not None and os.path.exists(self.path):
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
+
+    def compact(self) -> None:
+        """Rewrite the file as one line per version (totals unchanged)."""
+        with self._lock:
+            self._compact_locked()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        counts, total, lines, torn = self._parse_file()
+        self._counts = counts
+        self._total = total
+        self._file_lines = lines
+        # A file not ending in a newline carries a torn tail from a crash
+        # mid-append: the broken line is dropped, and the next append must
+        # start on a fresh line instead of gluing onto the fragment.
+        self._needs_newline = torn
+
+    def _parse_file(self) -> tuple[dict[VersionID, int], int, int, bool]:
+        """Aggregate the on-disk log: ``(counts, total, lines, torn_tail)``."""
+        with open(self.path, "r", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            raw = handle.read()
+        counts: dict[VersionID, int] = {}
+        total = 0
+        lines = 0
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                vid, count = json.loads(line)
+                count = int(count)
+            except (ValueError, TypeError):
+                # A torn tail from a crash mid-append: drop it rather
+                # than refusing to start; at most one access is lost.
+                continue
+            if count <= 0:
+                continue
+            counts[vid] = counts.get(vid, 0) + count
+            total += count
+            lines += 1
+        return counts, total, lines, bool(raw) and not raw.endswith("\n")
+
+    def _append_locked(self, entries: Iterable[tuple[VersionID, int]]) -> None:
+        if self.path is None:
+            return
+        lines = [json.dumps([vid, count]) for vid, count in entries]
+        prefix = "\n" if self._needs_newline else ""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(prefix + "\n".join(lines) + "\n")
+        self._needs_newline = False
+        self._file_lines += len(lines)
+        if self._file_lines >= _COMPACT_MIN_LINES and self._file_lines > (
+            _COMPACT_FACTOR * max(1, len(self._counts))
+        ):
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        if self.path is None:
+            return
+        # Compact from the *file*, not from this process's counters: other
+        # processes (CLI one-shots next to a running server) append to the
+        # same log, and everything this process ever recorded is already on
+        # disk too — so the file is the superset.  Adopt the merged totals
+        # as the new in-memory state, then write-then-rename so a crash
+        # mid-compaction leaves the old file (or the complete new one) —
+        # never a half-written log.
+        if os.path.exists(self.path):
+            counts, total, _, _ = self._parse_file()
+            self._counts = counts
+            self._total = total
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for vid, count in self._counts.items():
+                handle.write(json.dumps([vid, count]) + "\n")
+        os.replace(tmp_path, self.path)
+        self._file_lines = len(self._counts)
+        self._needs_newline = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkloadLog path={self.path!r} accesses={self._total} "
+            f"versions={len(self._counts)}>"
+        )

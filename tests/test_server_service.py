@@ -171,6 +171,56 @@ class TestConcurrency:
         # one batch's worth of deltas plus the warm-cache-free first pass.
         assert stats["deltas_applied"] <= len(vids) - 1 + 5 * 0 + len(vids)
 
+    def test_stats_snapshots_are_never_torn(self):
+        """Counters recorded together must appear together: a stats snapshot
+        taken during concurrent batches may not mix a materialization's
+        cache-counter effects with missing serving counters (or tear the
+        per-version map against the request total)."""
+        service, vids = build_service(16)
+        stop = threading.Event()
+        violations: list = []
+        errors: list = []
+
+        def hammer_batches(offset: int) -> None:
+            while not stop.is_set():
+                try:
+                    service.checkout_many(vids[offset:] + vids[:offset])
+                    service.checkout(vids[offset])
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        def poll_stats() -> None:
+            while not stop.is_set():
+                snapshot = service.stats()["serving"]
+                per_version_total = sum(snapshot["per_version"].values())
+                if per_version_total != snapshot["checkout_requests"]:
+                    violations.append(
+                        ("per_version", per_version_total, snapshot["checkout_requests"])
+                    )
+                if snapshot["deltas_applied"] > snapshot["naive_delta_applications"]:
+                    violations.append(("deltas", snapshot))
+                if snapshot["coalesced_requests"] > snapshot["checkout_requests"]:
+                    violations.append(("coalesced", snapshot))
+                if snapshot["deltas_applied"] > snapshot["cache"]["misses"]:
+                    # Every applied delta was a cache miss first; seeing the
+                    # application without the miss means the snapshot tore.
+                    violations.append(("cache", snapshot))
+
+        workers = [
+            threading.Thread(target=hammer_batches, args=(i,)) for i in range(3)
+        ] + [threading.Thread(target=poll_stats) for _ in range(2)]
+        for thread in workers:
+            thread.start()
+        import time
+
+        time.sleep(0.8)
+        stop.set()
+        for thread in workers:
+            thread.join(timeout=30)
+        assert errors == []
+        assert violations == []
+
     def test_mixed_readers_and_writers(self):
         service, vids = build_service(8)
         barrier = threading.Barrier(4)
