@@ -70,14 +70,18 @@ _DEFAULT_BACKEND = f"file://{_OBJECTS_DIR}"
 _WORKLOAD_FILE = "workload.log"
 
 
-def open_workload_log(directory: str) -> WorkloadLog:
+def open_workload_log(directory: str, half_life: float | None = None) -> WorkloadLog:
     """The repository's persistent access-frequency log.
 
     Lives next to the state file, so checkouts served by any process —
     CLI one-shots and ``repro serve`` alike — accumulate into one record
-    that ``repro repack --workload`` can optimize against.
+    that ``repro repack --workload`` can optimize against.  ``half_life``
+    configures the decaying view (in accesses) for ``--half-life`` flows.
     """
-    return WorkloadLog(os.path.join(directory, _WORKLOAD_FILE))
+    path = os.path.join(directory, _WORKLOAD_FILE)
+    if half_life is not None:
+        return WorkloadLog(path, half_life=half_life)
+    return WorkloadLog(path)
 
 
 def _resolve_backend_spec(spec: str, directory: str) -> str:
@@ -463,6 +467,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ["storage cost", f"{repo.total_storage_cost():.0f}"],
         ["store-everything cost", f"{naive:.0f}"],
     ]
+    if len(repo) > 0:
+        # Priced entirely from the store's incremental cost index — no
+        # payload is replayed to answer this.
+        from .storage.repack import expected_workload_cost
+
+        frequencies = open_workload_log(args.repository).frequencies(
+            repo.graph.version_ids
+        )
+        expected = expected_workload_cost(repo, frequencies or None)
+        rows.append(
+            ["expected recreation/request", f"{expected['per_request']:.0f}"]
+        )
     print(format_table(["metric", "value"], rows))
     return 0
 
@@ -513,23 +529,28 @@ def _cmd_repack(args: argparse.Namespace) -> int:
         options: dict = {
             "problem": args.problem,
             "hop_limit": args.hop_limit,
-            "workload": args.workload,
+            "workload": args.workload or args.half_life is not None,
             "dry_run": args.dry_run,
         }
         if args.threshold is not None:
             options["threshold"] = args.threshold
         if args.threshold_factor is not None:
             options["threshold_factor"] = args.threshold_factor
+        if args.half_life is not None:
+            options["half_life"] = args.half_life
         report = ServiceClient(args.repository).repack(**options)
         print(format_table(["metric", "value"], _flatten_report(report)))
         return 0
 
     repo = load_repository(args.repository)
     frequencies: dict = {}
-    if args.workload:
-        frequencies = open_workload_log(args.repository).frequencies(
-            repo.graph.version_ids
-        )
+    if args.workload or args.half_life is not None:
+        log = open_workload_log(args.repository, half_life=args.half_life)
+        if args.half_life is not None:
+            # The decaying view: recent traffic outweighs all-time counts.
+            frequencies = log.decayed_frequencies(repo.graph.version_ids)
+        else:
+            frequencies = log.frequencies(repo.graph.version_ids)
         if not frequencies:
             print("workload log is empty; planning against a uniform workload")
     instance = repo.problem_instance(
@@ -588,17 +609,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Persist observed access frequencies inside the repository, so the
         # workload survives restarts and feeds `repro repack --workload`.
         workload_log=open_workload_log(args.repository),
+        max_workers=args.workers,
+        repack_budget=args.repack_budget,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
-    print(f"serving {args.repository} on http://{host}:{port} (ctrl-c to stop)")
+    print(
+        f"serving {args.repository} on http://{host}:{port} "
+        f"({service.max_workers} workers; ctrl-c to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.server_close()
-        save_repository(repo, args.repository)
+        if service.close():
+            save_repository(repo, args.repository)
+        else:
+            # A repack is still swapping on a background thread; writing
+            # the state file now could name objects its GC is deleting.
+            # The repack's own on_commit hook persists consistent state.
+            print(
+                "warning: a repack was still in flight; skipping the final "
+                "state save (the repack persists its own)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -717,6 +753,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="dfs",
         help="batch scheduling strategy for checkout_many",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads for parallel chain materialization "
+        "(default: the machine's CPU count)",
+    )
+    serve.add_argument(
+        "--repack-budget",
+        type=float,
+        default=None,
+        help="auto-repack when the expected recreation cost per request "
+        "(priced from the incremental cost index) exceeds this budget",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     for name, handler in (("solve", _cmd_solve), ("repack", _cmd_repack)):
@@ -757,6 +807,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="plan against the observed access frequencies in the "
                 "repository's workload log (Figure 16 workload-aware "
                 "optimization) instead of a uniform workload",
+            )
+            command.add_argument(
+                "--half-life",
+                type=float,
+                default=None,
+                metavar="N",
+                help="use the workload log's decaying frequencies with this "
+                "half-life (in accesses), so recent traffic outweighs "
+                "all-time popularity; implies --workload",
             )
             command.add_argument(
                 "--dry-run",

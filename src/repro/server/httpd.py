@@ -21,7 +21,8 @@ POST      ``/plan``               ``{"problem"?, "threshold"?,
                                   "algorithm"?}`` → metrics + plan
 POST      ``/repack``             ``{"problem"?, "threshold"?,
                                   "threshold_factor"?, "hop_limit"?,
-                                  "algorithm"?, "workload"?, "dry_run"?}`` —
+                                  "algorithm"?, "workload"?, "half_life"?,
+                                  "dry_run"?}`` —
                                   workload-aware online repack → report
 ========  ======================  =============================================
 
@@ -228,6 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
             if parts == ["repack"]:
                 body = self._read_json()
+                half_life = body.get("half_life")
                 report = self.service.repack(
                     problem=int(body.get("problem", 3)),
                     threshold=body.get("threshold"),
@@ -235,6 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
                     hop_limit=int(body.get("hop_limit", 2)),
                     algorithm=body.get("algorithm", "auto"),
                     use_workload=bool(body.get("workload", True)),
+                    half_life=float(half_life) if half_life is not None else None,
                     dry_run=bool(body.get("dry_run", False)),
                 )
                 self._send_json(200, report)
@@ -243,14 +246,15 @@ class _Handler(BaseHTTPRequestHandler):
         return False
 
     def _route_objects(self, method: str, parts: list[str]) -> bool:
-        # Raw backend access holds the service's serving lock: a peer's PUT
-        # or DELETE landing mid-chain-replay would otherwise yank objects
-        # from under the materializer (or read a half-written file on the
-        # non-atomic filesystem backends).
+        # Raw backend reads run under the service coordinator's *shared*
+        # mode (they parallelize with checkouts); a peer's PUT or DELETE
+        # takes the *exclusive* barrier — landing mid-chain-replay it would
+        # otherwise yank objects from under the materializer (or read a
+        # half-written file on the non-atomic filesystem backends).
         backend = self.service.repository.store.backend
-        lock = self.service.serve_lock
+        coordinator = self.service.coordinator
         if method == "GET" and len(parts) == 1:
-            with lock:
+            with coordinator.shared():
                 keys = sorted(backend.keys())
             self._send_json(200, {"keys": keys})
             return True
@@ -265,7 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ReproError("multiget requires a 'keys' list")
             follow_bases = bool(body.get("follow_bases", False))
             found: dict[str, Any] = {}
-            with lock:
+            with coordinator.shared():
                 pending = list(keys)
                 while pending:
                     key = pending.pop()
@@ -290,24 +294,27 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "HEAD":
             # Existence probe: lets RemoteBackend answer `in` without
             # downloading the object payload.
-            with lock:
+            with coordinator.shared():
                 present = key in backend
             self._send_empty(200 if present else 404)
             return True
         if method == "GET":
-            with lock:
+            with coordinator.shared():
                 value = backend.get(key)  # KeyError -> 404 via _dispatch
             self._send_bytes(200, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
             return True
         if method == "PUT":
             value = pickle.loads(self._read_body())
-            with lock:
+            with coordinator.exclusive():
                 backend.put(key, value)
             self._send_empty()
             return True
         if method == "DELETE":
-            with lock:
-                backend.delete(key)
+            with coordinator.exclusive():
+                # Through the store, not the raw backend: the cost index
+                # must drop the object's entries or chain resolution would
+                # keep routing through the dead id without probing disk.
+                self.service.repository.store.remove(key)
             self._send_empty()
             return True
         return False

@@ -8,6 +8,13 @@ that process's core, independent of any transport:
 * a persistent warm :class:`~repro.storage.batch.BatchMaterializer` cache
   shared across *all* requests, so a hot version's chain is replayed once
   and then served from memory;
+* **per-chain parallelism** — checkouts of independent delta chains
+  materialize concurrently.  A striped lock manager keyed by each chain's
+  root object serializes work *within* one chain (so concurrent requests
+  cooperate through the warm cache instead of duplicating a replay) while
+  an epoch read/write coordinator lets any number of reads run together
+  and reserves a brief exclusive barrier for structural mutations: commits
+  and the repack swap.  There is no global serving lock;
 * request coalescing — concurrent checkouts of the same version share one
   chain replay: the first request becomes the leader and replays the chain,
   every concurrent duplicate waits and receives the very same payload;
@@ -16,14 +23,22 @@ that process's core, independent of any transport:
   so the amortization the batch engine promises is observable in
   production, not only in benchmarks;
 * a persistent :class:`~repro.storage.workload_log.WorkloadLog` of
-  per-version access frequencies that survives restarts and feeds the
-  workload-aware optimizers (Figure 16) with *real* traffic;
+  per-version access frequencies (raw and half-life-decayed views) that
+  survives restarts and feeds the workload-aware optimizers (Figure 16)
+  with *real* traffic;
 * an operator-triggered **online repack** (:meth:`VersionStoreService.repack`)
-  that re-optimizes the storage plan against the logged workload and swaps
-  the new encoding in under a write-pause/epoch scheme: commits wait for
-  the duration, checkouts keep being served from the old epoch while the
-  new one is staged, and the swap itself happens under the serving lock so
-  no request ever observes a mix of epochs.
+  that re-optimizes the storage plan against the logged workload.  The
+  expensive parts run while checkouts keep flowing: the cost model is
+  measured under *shared* access, and staging writes only brand-new
+  content-addressed keys, so it runs concurrently with readers outside
+  the coordinator entirely (raw ``/objects`` writers are the operator's
+  responsibility during a repack).  Only the swap takes the exclusive
+  barrier, and the swap prices everything from the store's incremental
+  cost index, so the write pause is the swap window alone;
+* an optional **auto-repack policy** (``repack_budget``): when the
+  index-priced ``expected_recreation_cost`` per request drifts above the
+  budget, a background repack is triggered automatically — the first step
+  toward a self-optimizing store.
 
 The HTTP transport lives in :mod:`repro.server.httpd`; this class is also
 usable directly in-process (the serving benchmark does exactly that).
@@ -31,7 +46,9 @@ usable directly in-process (the serving benchmark does exactly that).
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -39,11 +56,17 @@ from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
 from ..exceptions import ReproError
 from ..storage.batch import BatchMaterializer, BatchResult
+from ..storage.concurrency import EpochCoordinator, StripedLockManager
 from ..storage.repack import OnlineRepacker, expected_workload_cost
 from ..storage.repository import Repository
 from ..storage.workload_log import WorkloadLog
 
 __all__ = ["VersionStoreService", "CheckoutResponse", "ServiceStats"]
+
+
+def default_worker_count() -> int:
+    """Worker-pool size when the operator does not pass one: the machine."""
+    return max(1, os.cpu_count() or 1)
 
 
 @dataclass(frozen=True)
@@ -86,6 +109,7 @@ class ServiceStats:
     naive_delta_applications: int = 0
     recreation_cost_paid: float = 0.0
     recreation_cost_predicted: float = 0.0
+    auto_repacks: int = 0
     per_version: dict[VersionID, int] = field(default_factory=dict)
 
     def record_checkout(
@@ -123,6 +147,7 @@ class ServiceStats:
             "naive_delta_applications": self.naive_delta_applications,
             "recreation_cost_paid": self.recreation_cost_paid,
             "recreation_cost_predicted": self.recreation_cost_predicted,
+            "auto_repacks": self.auto_repacks,
             "per_version": dict(self.per_version),
         }
 
@@ -145,15 +170,34 @@ class VersionStoreService:
     The service keeps its *own* :class:`BatchMaterializer` (it does not
     reuse the repository's): its cache is the service's working set, sized
     by ``cache_size``, and persists across every request the process serves.
-    All repository access is serialized by an internal lock — concurrency
-    pays off through coalescing and the warm cache, while the storage layer
-    itself stays single-writer.
+
+    **Concurrency model.**  Reads (checkouts, batches, stats, planning,
+    the repack's measurement and staging phases) hold the
+    :class:`~repro.storage.concurrency.EpochCoordinator` in shared mode and
+    run in parallel; structural mutations — commits, the repack swap, raw
+    backend writes from the ``/objects`` transport — take its brief
+    exclusive barrier.  Within shared mode, each materialization holds the
+    striped lock of its chain's *root object* (``lock_stripes`` stripes),
+    so independent chains replay concurrently while same-chain requests
+    serialize into the warm cache.  ``max_workers`` (default: the machine's
+    CPU count) additionally fans one ``checkout_many`` batch out across
+    worker threads, one per independent union tree.  Setting
+    ``lock_stripes=1`` with ``max_workers=1`` reproduces the old
+    single-lock server — the benchmark's baseline.
 
     ``on_commit`` is called after every successful commit — and after the
-    swap phase of an online :meth:`repack` — while the serving lock is
+    swap phase of an online :meth:`repack` — while the exclusive barrier is
     still held, so the persisted state can never race a concurrent commit,
-    but slow callbacks stall checkouts for their duration; the CLI uses it
+    but slow callbacks stall requests for their duration; the CLI uses it
     to persist the repository state file.
+
+    ``repack_budget`` arms the auto-repack policy: every
+    ``auto_repack_interval`` checkouts the service prices the logged
+    workload against the current encoding via the store's cost index, and
+    when the expected recreation cost per request exceeds the budget it
+    triggers a workload-aware repack on a background thread.  If even the
+    fresh epoch cannot meet the budget, the policy stands down until the
+    next commit changes the store.
     """
 
     def __init__(
@@ -164,13 +208,23 @@ class VersionStoreService:
         strategy: str = "dfs",
         on_commit: Callable[[Repository], None] | None = None,
         workload_log: WorkloadLog | None = None,
+        max_workers: int | None = None,
+        lock_stripes: int = 64,
+        repack_budget: float | None = None,
+        auto_repack_interval: int = 32,
     ) -> None:
         self.repository = repository
+        self.max_workers = (
+            max(1, int(max_workers)) if max_workers else default_worker_count()
+        )
+        self.chain_locks = StripedLockManager(lock_stripes)
         self.materializer = BatchMaterializer(
             repository.store,
             repository.encoder,
             cache_size=cache_size,
             strategy=strategy,
+            max_workers=self.max_workers,
+            lock_manager=self.chain_locks,
         )
         self.stats_counters = ServiceStats()
         self._on_commit = on_commit
@@ -179,17 +233,23 @@ class VersionStoreService:
         # observed frequencies survive restarts and drive `repack`.
         self.workload_log = workload_log if workload_log is not None else WorkloadLog()
         self.repacker = OnlineRepacker(repository)
-        # serve_lock serializes repository/materializer/backend work (it is
-        # public so transports can serialize raw backend access — the
-        # /objects endpoints — with request serving); _state_lock guards
-        # the inflight table and the stats counters (never held while
+        # coordinator: shared for every read path, exclusive for commits /
+        # the repack swap / raw backend writes.  _state_lock guards the
+        # inflight table and the stats counters (never held while
         # replaying, so waiters can register while the leader works).
         # _write_gate pauses commits while a repack is in flight: a version
         # committed after the plan was computed would not be covered by it.
-        self.serve_lock = threading.RLock()
+        self.coordinator = EpochCoordinator()
         self._state_lock = threading.Lock()
         self._write_gate = threading.Lock()
         self._inflight: dict[VersionID, _Inflight] = {}
+        # Auto-repack policy state (all guarded by _state_lock).
+        self.repack_budget = repack_budget
+        self.auto_repack_interval = max(1, int(auto_repack_interval))
+        self._auto_last_check = 0
+        self._auto_repack_running = False
+        self._auto_repack_suppressed = False
+        self._auto_repack_error: str | None = None
 
     # ------------------------------------------------------------------ #
     # writes
@@ -205,12 +265,13 @@ class VersionStoreService:
         """Commit a new version (optionally on ``branch``) and return its id.
 
         Commits wait at the write gate while an online repack is in flight
-        (reads keep flowing); the counter is bumped while the serving lock
-        is still held so a stats snapshot never sees a committed version
-        without its commit counted.
+        (reads keep flowing) and then take the exclusive barrier for the
+        mutation itself; the counter is bumped while the barrier is still
+        held so a stats snapshot never sees a committed version without its
+        commit counted.
         """
         with self._write_gate:
-            with self.serve_lock:
+            with self.coordinator.exclusive():
                 if branch is not None:
                     if branch not in self.repository.branches:
                         self.repository.branch(branch)
@@ -224,6 +285,9 @@ class VersionStoreService:
                     self._on_commit(self.repository)
                 with self._state_lock:
                     self.stats_counters.commits += 1
+                    # The store changed shape: give the auto-repack policy
+                    # another shot even if the last epoch missed the budget.
+                    self._auto_repack_suppressed = False
         return version_id
 
     # ------------------------------------------------------------------ #
@@ -235,7 +299,10 @@ class VersionStoreService:
         Concurrent requests for the same version share a single chain
         replay: whichever request arrives first leads and materializes, the
         rest block until the leader finishes and return the identical
-        payload (marked ``coalesced=True``).
+        payload (marked ``coalesced=True``).  Leaders of *independent*
+        chains replay in parallel — only same-chain leaders serialize on
+        their chain's stripe lock, where the second finds the first's work
+        already cached.
         """
         with self._state_lock:
             entry = self._inflight.get(version_id)
@@ -267,16 +334,21 @@ class VersionStoreService:
                     coalesced=True,
                 )
             self.workload_log.record(version_id)
+            self._maybe_auto_repack()
             return response
 
         try:
-            # Recording happens while the serving lock is still held, so a
-            # stats snapshot (which takes the same lock) can never observe
-            # the cache counters of a materialization whose serving counters
-            # have not landed yet — no torn reads during a concurrent batch.
-            with self.serve_lock:
+            with self.coordinator.shared():
                 object_id = self.repository.object_id_of(version_id)
-                item = self.materializer.materialize(object_id)
+                # The stripe key is the chain's root object when the cost
+                # index's memo can answer it in O(1); on a tip the index
+                # has not priced yet, key by the tip instead of forcing a
+                # resolving walk or fetch — the leader's materialization
+                # memoizes the stats, so every later request stripes by
+                # the root with a single dictionary lookup.
+                root = self.repository.store.cached_chain_root(object_id)
+                with self.chain_locks.holding(root or object_id):
+                    item = self.materializer.materialize(object_id)
                 response = CheckoutResponse(
                     version_id=version_id,
                     payload=item.payload,
@@ -287,6 +359,12 @@ class VersionStoreService:
                 )
                 entry.predicted_cost = item.predicted_cost
                 entry.response = response
+                # A materialization's cache-counter effects land before its
+                # serving counters (misses increment during replay, the
+                # record below follows), so a stats snapshot can observe an
+                # in-flight replay's misses but never a recorded request
+                # whose replay work is missing — the invariants the
+                # snapshot tests assert stay monotone.
                 with self._state_lock:
                     self.stats_counters.record_checkout(
                         version_id,
@@ -295,8 +373,6 @@ class VersionStoreService:
                         recreation_cost=item.recreation_cost,
                         predicted_cost=item.predicted_cost,
                     )
-            self.workload_log.record(version_id)
-            return response
         except BaseException as error:
             entry.error = error
             raise
@@ -304,14 +380,22 @@ class VersionStoreService:
             with self._state_lock:
                 self._inflight.pop(version_id, None)
             entry.event.set()
+        # Everything past the event is leader-only bookkeeping: waiters are
+        # already released, and neither a log-append failure nor a blocking
+        # auto-repack check can stall or poison them.
+        self.workload_log.record(version_id)
+        self._maybe_auto_repack()
+        return response
 
     def checkout_many(self, version_ids: Sequence[VersionID]) -> BatchResult:
         """Serve a whole batch through the warm cache (union-tree replay).
 
-        The batch's counters land while the serving lock is still held —
-        see :meth:`checkout` — so stats snapshots stay coherent.
+        Independent union trees of the batch replay in parallel on the
+        materializer's worker pool (``max_workers``); each tree holds its
+        chain's stripe lock, so concurrent batches and single checkouts on
+        the same chain cooperate instead of racing.
         """
-        with self.serve_lock:
+        with self.coordinator.shared():
             requests = [
                 (vid, self.repository.object_id_of(vid)) for vid in version_ids
             ]
@@ -327,6 +411,7 @@ class VersionStoreService:
                         predicted_cost=item.predicted_cost,
                     )
         self.workload_log.record_many(vid for vid, _ in requests)
+        self._maybe_auto_repack()
         return result
 
     # ------------------------------------------------------------------ #
@@ -335,20 +420,20 @@ class VersionStoreService:
     def stats(self) -> dict[str, Any]:
         """Serving counters plus a snapshot of the repository behind them.
 
-        The snapshot — serving counters, cache counters, repository state
-        and repack epoch — is taken under the serving lock (counters
-        additionally under the state lock), so a concurrent batch can never
-        produce a torn read of those: either all of its effects are visible
-        in the snapshot or none are.  Workload-log totals are recorded
-        outside the serving lock (appends do file I/O) and may trail the
-        request counters by the few in-flight requests — eventually
-        consistent, never torn internally.
+        The snapshot is taken under shared access (counters additionally
+        under the state lock), so it can never interleave with a commit or
+        a repack swap: either all of a mutation's effects are visible or
+        none are.  Workload-log totals are recorded outside the coordinator
+        (appends do file I/O) and may trail the request counters by the few
+        in-flight requests — eventually consistent, never torn internally.
 
         ``workload.expected_recreation_cost`` prices the logged workload
-        against the *current* encoding (Φ chain sums, no replay): the
-        number an online repack is supposed to shrink.
+        against the *current* encoding straight from the store's cost index
+        (no replay, no scan): the number an online repack is supposed to
+        shrink.  ``workload.decayed`` reports the same pricing under the
+        log's half-life-decayed frequencies — the drifting-workload view.
         """
-        with self.serve_lock:
+        with self.coordinator.shared():
             with self._state_lock:
                 serving = self.stats_counters.snapshot()
                 serving["cache"] = {
@@ -358,6 +443,7 @@ class VersionStoreService:
                     "misses": self.materializer.cache.misses,
                     "strategy": self.materializer.strategy,
                 }
+                auto_error = self._auto_repack_error
             repository = {
                 "versions": len(self.repository),
                 "branches": dict(self.repository.branches),
@@ -366,19 +452,36 @@ class VersionStoreService:
                 "storage_cost": self.repository.total_storage_cost(),
                 "backend": self.repository.store.backend.spec(),
             }
+            version_ids = self.repository.graph.version_ids
             workload = self.workload_log.snapshot()
-            frequencies = self.workload_log.frequencies(
-                self.repository.graph.version_ids
-            )
+            frequencies = self.workload_log.frequencies(version_ids)
             workload["expected_recreation_cost"] = expected_workload_cost(
-                self.repository, frequencies or None, reader=self.materializer
+                self.repository, frequencies or None
             )
-            repack = {"epoch": self.repacker.epoch}
+            decayed = self.workload_log.decayed_frequencies(version_ids)
+            workload["decayed"] = {
+                "half_life": self.workload_log.half_life,
+                "expected_recreation_cost": expected_workload_cost(
+                    self.repository, decayed or None
+                ),
+            }
+            repack = {
+                "epoch": self.repacker.epoch,
+                "budget": self.repack_budget,
+                "auto_repacks": serving["auto_repacks"],
+                "auto_repack_error": auto_error,
+            }
+            concurrency = {
+                "max_workers": self.max_workers,
+                "lock_stripes": self.chain_locks.num_stripes,
+                "exclusive_epochs": self.coordinator.exclusive_epochs,
+            }
         return {
             "serving": serving,
             "repository": repository,
             "workload": workload,
             "repack": repack,
+            "concurrency": concurrency,
         }
 
     def plan(
@@ -393,13 +496,14 @@ class VersionStoreService:
         """Compute an optimized storage plan for the served repository.
 
         Measures the cost model from live payloads (an expensive full scan —
-        intended for operators, not the request hot path), solves the chosen
-        problem and returns the metrics plus the plan itself.  The plan is
-        *not* applied; repacking a live service remains an offline step.
+        intended for operators, not the request hot path) under *shared*
+        access, so checkouts keep being served throughout; commits wait for
+        the duration.  The plan is *not* applied; use :meth:`repack` to
+        apply one online.
         """
         if len(self.repository) == 0:
             raise ReproError("cannot plan over an empty repository")
-        with self.serve_lock:
+        with self.coordinator.shared():
             instance = self.repository.problem_instance(hop_limit=hop_limit)
         resolved = default_threshold(
             instance, problem, threshold=threshold, factor=threshold_factor
@@ -430,43 +534,55 @@ class VersionStoreService:
         hop_limit: int = 2,
         algorithm: str = "auto",
         use_workload: bool = True,
+        half_life: float | None = None,
         dry_run: bool = False,
     ) -> dict[str, Any]:
         """Re-optimize the storage plan against observed traffic, online.
 
         With ``use_workload`` (default) the plan is computed against the
         persisted workload log's access frequencies — the paper's Figure 16
-        problems fed with real traffic; an empty log falls back to a
-        uniform workload.  The write-pause/epoch scheme:
+        problems fed with real traffic; ``half_life`` switches to the log's
+        decaying view so drifting workloads outweigh all-time popularity;
+        an empty log falls back to a uniform workload.  The write-pause /
+        epoch scheme:
 
         1. commits are paused at the write gate for the whole operation
            (checkouts keep being served throughout);
-        2. the cost model is measured and the plan solved;
+        2. the cost model is measured and the plan solved — under *shared*
+           access, never an exclusive lock;
         3. the new encoding is staged next to the old one while readers
            continue against the old epoch (content-addressed keys are
-           never overwritten, so this is invisible to them);
-        4. under the serving lock — a quick, exclusive window — versions
-           are repointed, dead objects collected, caches dropped and the
-           epoch bumped.  Every checkout is therefore served entirely from
-           one epoch and stays byte-identical across the swap.
+           never overwritten, so this is invisible to them; staging holds
+           no coordinator mode — do not mix raw ``/objects`` deletes with
+           a running repack);
+        4. the exclusive barrier — the only moment reads pause — repoints
+           versions, collects dead objects, drops caches and bumps the
+           epoch, all priced from the store's cost index: no payload is
+           read inside the barrier.  Every checkout is therefore served
+           entirely from one epoch and stays byte-identical across the
+           swap.
 
         ``dry_run`` stops after step 2 and reports what the repack *would*
         do.  Returns a JSON-ready report either way.
         """
         with self._write_gate:
-            with self.serve_lock:
+            with self.coordinator.shared():
                 if len(self.repository) == 0:
                     raise ReproError("cannot repack an empty repository")
-                frequencies = (
-                    self.workload_log.frequencies(self.repository.graph.version_ids)
-                    if use_workload
-                    else {}
-                )
+                version_ids = self.repository.graph.version_ids
+                if not use_workload:
+                    frequencies: dict[VersionID, float] = {}
+                elif half_life is not None:
+                    frequencies = self.workload_log.decayed_frequencies(
+                        version_ids, half_life=half_life
+                    )
+                else:
+                    frequencies = self.workload_log.frequencies(version_ids)
                 instance = self.repository.problem_instance(
                     access_frequencies=frequencies or None, hop_limit=hop_limit
                 )
                 expected_before = expected_workload_cost(
-                    self.repository, frequencies or None, reader=self.materializer
+                    self.repository, frequencies or None
                 )
             resolved = default_threshold(
                 instance, problem, threshold=threshold, factor=threshold_factor
@@ -477,6 +593,7 @@ class VersionStoreService:
                 "algorithm": result.algorithm,
                 "threshold": resolved,
                 "workload_aware": bool(frequencies),
+                "half_life": half_life,
                 "dry_run": bool(dry_run),
                 "plan_metrics": {
                     "storage_cost": result.metrics.storage_cost,
@@ -494,8 +611,9 @@ class VersionStoreService:
             with self.repacker.lock:
                 # Phase 1 — stage the new encoding; readers keep serving.
                 staged = self.repacker.rebuild(result.plan)
-                # Phase 2 — the exclusive swap window.
-                with self.serve_lock:
+                # Phase 2 — the exclusive barrier: the only window in which
+                # reads pause, and it contains no payload access at all.
+                with self.coordinator.exclusive():
                     swap_report = self.repacker.swap(staged)
                     # The serving cache holds payloads keyed by dead-epoch
                     # object ids; drop it inside the same exclusive window.
@@ -505,10 +623,112 @@ class VersionStoreService:
                         # old objects; persist the new mapping immediately —
                         # a crash must not leave a state file naming them.
                         self._on_commit(self.repository)
-                    expected_after = expected_workload_cost(
-                        self.repository, frequencies or None, reader=self.materializer
-                    )
+                # Priced outside the barrier: totalling storage enumerates
+                # backend keys and may read index-unseen orphans — reads
+                # are flowing again by now, commits still wait at the gate.
+                swap_report["storage_after"] = self.repository.total_storage_cost()
+                expected_after = expected_workload_cost(
+                    self.repository, frequencies or None
+                )
             report.update(swap_report)
             report["epoch"] = self.repacker.epoch
             report["expected_cost_after"] = expected_after
         return report
+
+    def close(self, timeout: float = 60.0) -> bool:
+        """Quiesce the service: stand the auto-repack policy down, wait for
+        in-flight repacks to finish, release the worker pool.
+
+        Idempotent.  Returns ``True`` when the service quiesced within
+        ``timeout`` — only then may a shutdown path persist the repository
+        state: serializing it while a background swap is repointing
+        versions could persist a mapping whose objects the swap's GC then
+        deletes.  A ``False`` return means some repack was still running;
+        its own ``on_commit`` persists consistent state when it completes.
+        """
+        with self._state_lock:
+            self._auto_repack_suppressed = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                if not self._auto_repack_running:
+                    break
+            time.sleep(0.05)
+        # Every repack — operator-triggered included — holds the write
+        # gate for its whole duration, so passing through it establishes
+        # that no swap is mid-flight when the caller persists state.
+        quiesced = self._write_gate.acquire(
+            timeout=max(0.0, deadline - time.monotonic())
+        )
+        if quiesced:
+            self._write_gate.release()
+        self.materializer.close()
+        return quiesced
+
+    # ------------------------------------------------------------------ #
+    # auto-repack policy
+    # ------------------------------------------------------------------ #
+    def _maybe_auto_repack(self) -> None:
+        """Trigger a background repack when expected cost exceeds the budget.
+
+        Called at the end of every served request, outside all locks.  The
+        check itself is cheap — the store's cost index prices the whole
+        logged workload with dictionary walks — and rate-limited to once
+        every ``auto_repack_interval`` requests.  A failing policy check
+        must never fail the request that triggered it (the checkout already
+        succeeded), so every error is swallowed into the stats instead of
+        raised.
+        """
+        if self.repack_budget is None:
+            return
+        try:
+            with self._state_lock:
+                total = self.stats_counters.checkout_requests
+                if total - self._auto_last_check < self.auto_repack_interval:
+                    return
+                self._auto_last_check = total
+                if self._auto_repack_running or self._auto_repack_suppressed:
+                    return
+            with self.coordinator.shared():
+                if len(self.repository) == 0:
+                    return
+                frequencies = self.workload_log.frequencies(
+                    self.repository.graph.version_ids
+                )
+                expected = expected_workload_cost(
+                    self.repository, frequencies or None
+                )
+            if expected["per_request"] <= self.repack_budget:
+                return
+            with self._state_lock:
+                if self._auto_repack_running or self._auto_repack_suppressed:
+                    return
+                self._auto_repack_running = True
+        except Exception as error:
+            with self._state_lock:
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            return
+        thread = threading.Thread(
+            target=self._auto_repack_worker, name="repro-auto-repack", daemon=True
+        )
+        thread.start()
+
+    def _auto_repack_worker(self) -> None:
+        try:
+            report = self.repack(use_workload=True)
+            after = report.get("expected_cost_after", {}).get("per_request", 0.0)
+            with self._state_lock:
+                self.stats_counters.auto_repacks += 1
+                self._auto_repack_error = None
+                if after > self.repack_budget:
+                    # Even the fresh epoch misses the budget: stand down
+                    # until a commit changes the store, else every interval
+                    # would trigger another futile repack.
+                    self._auto_repack_suppressed = True
+        except Exception as error:  # pragma: no cover - defensive
+            with self._state_lock:
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
+                self._auto_repack_suppressed = True
+        finally:
+            with self._state_lock:
+                self._auto_repack_running = False

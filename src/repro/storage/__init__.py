@@ -4,7 +4,10 @@
   (``memory://``, ``file://``, ``zip://``, ``shard://``, remote ``http://``)
   the object store delegates to;
 * :mod:`~repro.storage.objects` — content-addressed store for full objects
-  and deltas;
+  and deltas, with an incremental cost index (per-chain Φ totals and delta
+  counts maintained at commit/repack time);
+* :mod:`~repro.storage.concurrency` — striped per-chain locks and the
+  epoch read/write coordinator behind parallel serving;
 * :mod:`~repro.storage.materializer` — reconstructs payloads by replaying
   delta chains;
 * :mod:`~repro.storage.batch` — batch checkout engine that amortizes shared
@@ -31,8 +34,9 @@ from .backends import (
     register_backend,
 )
 from .batch import BatchItem, BatchMaterializer, BatchResult
+from .concurrency import EpochCoordinator, StripedLockManager
 from .materializer import LRUPayloadCache, MaterializationResult, Materializer
-from .objects import ObjectStore, StoredObject
+from .objects import ChainStats, ObjectMeta, ObjectStore, StoredObject
 from .planner import apply_plan, plan_order
 from .repack import OnlineRepacker, StagedRepack, expected_workload_cost
 from .repository import CheckoutStats, Repository
@@ -50,9 +54,13 @@ __all__ = [
     "BatchItem",
     "BatchMaterializer",
     "BatchResult",
+    "EpochCoordinator",
+    "StripedLockManager",
     "LRUPayloadCache",
     "MaterializationResult",
     "Materializer",
+    "ChainStats",
+    "ObjectMeta",
     "ObjectStore",
     "StoredObject",
     "apply_plan",

@@ -22,6 +22,18 @@ read and warm the same persistent LRU cache, which is what lets a
 long-lived serving process answer repeat requests without replaying
 anything.
 
+**Concurrency.**  The materializer is safe for concurrent callers: the
+payload cache is atomic, and chain metadata lives in the object store's
+incremental cost index (immutable under content addressing, guarded by the
+store's index lock) instead of a private memo.  The union forest naturally
+partitions by chain root, so with ``max_workers > 1`` independent trees of
+one batch are replayed in parallel worker threads; an optional
+``lock_manager`` (a
+:class:`~repro.storage.concurrency.StripedLockManager`) serializes work
+per chain root, so concurrent batches and single checkouts touching the
+same chain cooperate through the warm cache instead of duplicating the
+replay.
+
 The result reports, per version and in aggregate, the recreation cost
 *actually paid* next to the chain cost the storage plan *predicts* (the Φ
 chain sum), so experiments can measure how far real serving sits below the
@@ -30,23 +42,19 @@ model the optimizers plan against.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
+from .concurrency import StripedLockManager
 from .materializer import LRUPayloadCache, replay_chain
-from .objects import ObjectStore
+from .objects import ObjectStore, StoredObject
 
 __all__ = ["BatchMaterializer", "BatchItem", "BatchResult", "STRATEGIES"]
-
-
-@dataclass(frozen=True)
-class _ChainLink:
-    """Per-object chain metadata retained across a batch (never the object)."""
-
-    base_id: str | None
-    phi_contribution: float
 
 
 @dataclass
@@ -133,9 +141,13 @@ class BatchMaterializer:
     original sorted-schedule scheduler whose sharing degrades gracefully to
     sequential replay as the cache shrinks.
 
-    The cache persists across :meth:`materialize_many` calls, so a serving
-    loop keeps benefiting from earlier batches; call :meth:`clear_cache`
-    between measurements that must start cold.
+    ``max_workers`` bounds the worker pool that replays *independent* union
+    trees of one batch in parallel (1 keeps everything on the calling
+    thread); ``lock_manager`` optionally serializes work per chain root
+    across concurrent callers.  The cache persists across
+    :meth:`materialize_many` calls, so a serving loop keeps benefiting from
+    earlier batches; call :meth:`clear_cache` between measurements that
+    must start cold.
     """
 
     def __init__(
@@ -145,6 +157,8 @@ class BatchMaterializer:
         *,
         cache_size: int = 64,
         strategy: str = "dfs",
+        max_workers: int | None = None,
+        lock_manager: StripedLockManager | None = None,
     ) -> None:
         if strategy not in STRATEGIES:
             known = ", ".join(STRATEGIES)
@@ -153,11 +167,10 @@ class BatchMaterializer:
         self.encoder = encoder
         self.strategy = strategy
         self.cache = LRUPayloadCache(cache_size)
-        # Chain metadata is content-addressed and immutable, so it is
-        # memoized for the materializer's lifetime: repeated materialize()
-        # calls walking the same chains (the re-packer's access pattern)
-        # read each object's metadata from the backend once, not per call.
-        self._chain_info: dict[str, _ChainLink] = {}
+        self.max_workers = max(1, int(max_workers)) if max_workers else 1
+        self.lock_manager = lock_manager
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
 
     def materialize_many(
         self, requests: Sequence[tuple[Hashable, str]] | Sequence[str]
@@ -174,27 +187,36 @@ class BatchMaterializer:
             for request in requests
         ]
 
-        # Resolve every distinct chain up front.  Only per-object *metadata*
-        # (base id + Φ contribution) is retained across batches; the objects
-        # themselves are fetched transiently during replay.
-        chains: dict[str, tuple[str, ...]] = {}
-        for _, object_id in normalized:
-            if object_id not in chains:
-                chains[object_id] = self._resolve_chain(object_id)
+        # Resolve every distinct chain up front from the store's cost
+        # index.  On a chain-following remote backend every unresolved tip
+        # is primed — chains *and* their objects — in one multiget round
+        # trip, and the fetched objects feed the replay below directly.
+        distinct = list(dict.fromkeys(object_id for _, object_id in normalized))
+        prefetched = self.store.prime_chains(distinct)
+        chains: dict[str, tuple[str, ...]] = {
+            object_id: self.store.chain_ids(object_id) for object_id in distinct
+        }
 
         if self.strategy == "dfs":
-            materialized = self._materialize_union_tree(chains)
+            materialized = self._materialize_forest(chains, prefetched)
         else:
             # LRU fallback: order the work so that chains sharing a prefix
             # run back to back — sorting by the chain's id tuple places each
             # prefix immediately before its extensions, which is exactly the
             # order a bounded LRU exploits best.  Peak memory stays bounded
-            # by the payload cache no matter how large the batch is.
+            # by the payload cache no matter how large the batch is.  The
+            # schedule stays sequential (no worker pool — the sorted order
+            # *is* the strategy), but each chain's replay still holds its
+            # root's stripe lock so concurrent callers cooperate through
+            # the cache instead of replaying the same chain twice.
             schedule = sorted(chains, key=lambda oid: chains[oid])
-            materialized = {
-                object_id: self._materialize_chain(object_id, chains[object_id])
-                for object_id in schedule
-            }
+            fetch = self._fetcher(prefetched)
+            materialized = {}
+            for object_id in schedule:
+                with self._chain_guard(chains[object_id][0]):
+                    materialized[object_id] = self._materialize_chain(
+                        object_id, chains[object_id], fetch=fetch
+                    )
 
         # Distinct keys can resolve to the same object (content addressing
         # deduplicates identical payloads): the single materialization's cost
@@ -230,27 +252,26 @@ class BatchMaterializer:
         chain-following remote backend the uncached part of the chain
         arrives in one round trip and is replayed from that response,
         instead of one HTTP exchange per object — and warm repeats (chain
-        metadata memoized, payloads cached) perform no exchange at all.
+        metadata indexed, payloads cached) perform no exchange at all.
         """
         if getattr(self.store.backend, "follows_chains", False):
             return self._materialize_remote(object_id)
-        return self._materialize_chain(object_id, self._resolve_chain(object_id))
+        return self._materialize_chain(object_id, self.store.chain_ids(object_id))
 
     def _materialize_remote(self, object_id: str) -> BatchItem:
         """Segment-batched replay against a chain-following remote backend."""
-        chain_ids = self._memoized_chain_ids(object_id)
+        chain_ids = self.store.cached_chain_ids(object_id)
         if chain_ids is None:
             # First sight of this chain: one multiget resolves *and* carries
             # every object, so the replay below fetches nothing else.
             chain = self.store.delta_chain(object_id)
-            self._memoize_chain(chain)
             by_id = {obj.object_id: obj for obj in chain}
             return self._materialize_chain(
                 object_id,
                 tuple(obj.object_id for obj in chain),
                 fetch=by_id.__getitem__,
             )
-        # Metadata already memoized: only the suffix below the deepest
+        # Metadata already indexed: only the suffix below the deepest
         # cached payload needs objects — prefetch it in one round trip
         # (zero round trips when the tip itself is cached).
         start = 0
@@ -260,105 +281,121 @@ class BatchMaterializer:
                 break
         needed = [oid for oid in chain_ids[start:] if oid not in self.cache]
         prefetched = self.store.get_many(needed) if needed else {}
-
-        def fetch(oid: str) -> Any:
-            if oid in prefetched:
-                return prefetched[oid]
-            return self.store.get(oid)
-
-        return self._materialize_chain(object_id, chain_ids, fetch=fetch)
-
-    def _memoized_chain_ids(self, object_id: str) -> tuple[str, ...] | None:
-        """The chain of ``object_id`` if resolvable from the metadata memo."""
-        info = self._chain_info
-        reversed_chain: list[str] = []
-        current_id: str | None = object_id
-        while current_id is not None:
-            link = info.get(current_id)
-            if link is None or len(reversed_chain) > len(info):
-                return None
-            reversed_chain.append(current_id)
-            current_id = link.base_id
-        reversed_chain.reverse()
-        return tuple(reversed_chain)
-
-    def predicted_chain_cost(self, object_id: str) -> float:
-        """Φ chain sum of ``object_id`` from chain metadata alone.
-
-        No payload is replayed: only the per-object metadata memo is
-        consulted (and filled on first visit).  This is what prices the
-        *expected* recreation cost of a workload before and after a repack.
-        """
-        chain_ids = self._resolve_chain(object_id)
-        return float(
-            sum(self._chain_info[oid].phi_contribution for oid in chain_ids)
+        return self._materialize_chain(
+            object_id, chain_ids, fetch=self._fetcher(prefetched)
         )
 
+    def predicted_chain_cost(self, object_id: str) -> float:
+        """Φ chain sum of ``object_id`` from the store's cost index alone.
+
+        No payload is replayed: the incremental index (filled at commit
+        time, backfilled from reads) answers with dictionary walks.  This
+        is what prices the *expected* recreation cost of a workload before
+        and after a repack.
+        """
+        return self.store.chain_stats(object_id).phi_total
+
     def clear_cache(self) -> None:
-        """Drop every cached payload and chain memo (start the next batch cold)."""
+        """Drop every cached payload (start the next batch cold).
+
+        Chain metadata is *not* dropped: it lives in the store's cost
+        index, is immutable under content addressing, and entries for
+        objects a repack removes are evicted by the store itself.
+        """
         self.cache.clear()
-        self._chain_info.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the materializer keeps
+        working afterwards — a later parallel batch simply recreates it).
+
+        Callers that create short-lived materializers with ``max_workers >
+        1`` should close them, or idle worker threads accumulate for the
+        life of the process.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _resolve_chain(self, object_id: str) -> tuple[str, ...]:
-        """The root-first id chain of ``object_id``.
+    def _chain_guard(self, root_id: str):
+        """The stripe lock guarding ``root_id``'s chain (no-op unmanaged)."""
+        if self.lock_manager is None:
+            return nullcontext()
+        return self.lock_manager.holding(root_id)
 
-        ``_chain_info`` memoizes each visited object's base id and Φ
-        contribution, so shared prefixes are walked (and their objects
-        read) once no matter how many requests traverse them — and only the
-        few-bytes metadata is retained, never the objects themselves.
+    def _fetcher(
+        self, prefetched: Mapping[str, StoredObject]
+    ) -> Callable[[str], StoredObject]:
+        """A fetch hook that consumes prefetched objects before the store."""
+        if not prefetched:
+            return self.store.get
+
+        def fetch(oid: str) -> StoredObject:
+            obj = prefetched.get(oid)
+            return obj if obj is not None else self.store.get(oid)
+
+        return fetch
+
+    def _materialize_forest(
+        self,
+        chains: dict[str, tuple[str, ...]],
+        prefetched: Mapping[str, StoredObject],
+    ) -> dict[str, BatchItem]:
+        """Replay the union forest, one tree per chain root.
+
+        Trees rooted at different full objects share no object ids, so they
+        are replayed independently — in parallel worker threads when the
+        materializer was built with ``max_workers > 1``.  Each tree's
+        replay optionally holds its root's stripe lock, so concurrent
+        batches (and single checkouts serialized the same way by the
+        serving layer) cooperate on a chain instead of racing it.
         """
-        info = self._chain_info
-        reversed_chain: list[str] = []
-        seen: set[str] = set()
-        current_id: str | None = object_id
-        while current_id is not None:
-            link = info.get(current_id)
-            if link is None:
-                if getattr(self.store.backend, "follows_chains", False):
-                    # One round trip resolves the whole remaining segment.
-                    self._memoize_chain(self.store.delta_chain(current_id))
-                    link = info[current_id]
-                else:
-                    obj = self.store.get(current_id)
-                    link = _ChainLink(
-                        base_id=obj.base_id if obj.is_delta else None,
-                        phi_contribution=(
-                            obj.payload.recreation_cost
-                            if obj.is_delta
-                            else obj.storage_cost()
-                        ),
-                    )
-                    info[current_id] = link
-            reversed_chain.append(current_id)
-            if link.base_id is not None:
-                if current_id in seen:
-                    raise ObjectNotFoundError(
-                        f"delta chain of {object_id!r} contains a cycle"
-                    )
-                seen.add(current_id)
-            current_id = link.base_id
-        reversed_chain.reverse()
-        return tuple(reversed_chain)
+        groups: dict[str, dict[str, tuple[str, ...]]] = {}
+        for object_id, chain_ids in chains.items():
+            groups.setdefault(chain_ids[0], {})[object_id] = chain_ids
 
-    def _memoize_chain(self, chain: Sequence[Any]) -> None:
-        """Record chain metadata for every object of a fetched chain."""
-        info = self._chain_info
-        for obj in chain:
-            if obj.object_id not in info:
-                info[obj.object_id] = _ChainLink(
-                    base_id=obj.base_id if obj.is_delta else None,
-                    phi_contribution=(
-                        obj.payload.recreation_cost
-                        if obj.is_delta
-                        else obj.storage_cost()
-                    ),
+        def run_group(root: str) -> dict[str, BatchItem]:
+            with self._chain_guard(root):
+                return self._materialize_union_tree(groups[root], prefetched)
+
+        materialized: dict[str, BatchItem] = {}
+        roots = list(groups)
+        if self.max_workers > 1 and len(roots) > 1:
+            futures = [
+                self._get_executor().submit(run_group, root) for root in roots
+            ]
+            # Drain every future before propagating any failure: an
+            # abandoned sibling would keep reading the store after the
+            # caller released its locks (and its error would vanish).
+            errors: list[BaseException] = []
+            for future in futures:
+                try:
+                    materialized.update(future.result())
+                except BaseException as error:
+                    errors.append(error)
+            if errors:
+                raise errors[0]
+        else:
+            for root in roots:
+                materialized.update(run_group(root))
+        return materialized
+
+    def _get_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-materialize",
                 )
+            return self._executor
 
     def _materialize_union_tree(
-        self, chains: dict[str, tuple[str, ...]]
+        self,
+        chains: dict[str, tuple[str, ...]],
+        prefetched: Mapping[str, StoredObject] | None = None,
     ) -> dict[str, BatchItem]:
         """Materialize every requested chain via one DFS over their union.
 
@@ -374,6 +411,7 @@ class BatchMaterializer:
         per-item numbers sum to exactly what the batch paid and every item
         stays at or below its Φ prediction.
         """
+        prefetched = prefetched or {}
         # Trim every chain at its deepest cached ancestor (the same probe
         # replay_chain performs), so a warm repeat request replays nothing
         # even when intermediate prefix nodes have been evicted.  The cached
@@ -408,6 +446,22 @@ class BatchMaterializer:
         for kids in children.values():
             kids.sort()
 
+        # On a remote backend, fetch every node the traversal may need in
+        # one batched exchange up front (the union-tree half of the
+        # multiget story): without it the DFS below would cost one round
+        # trip per uncached node.
+        if getattr(self.store.backend, "follows_chains", False):
+            needed = [
+                oid
+                for oid in in_tree
+                if oid not in prefetched
+                and oid not in captured
+                and oid not in self.cache
+            ]
+            if needed:
+                prefetched = {**prefetched, **self.store.get_many(needed)}
+        fetch = self._fetcher(prefetched)
+
         requested = set(chains)
         payloads: dict[str, Any] = {}
         node_cost: dict[str, float] = {}
@@ -426,7 +480,7 @@ class BatchMaterializer:
                 node_is_delta_replay[oid] = False
                 node_cache_hit[oid] = True
             else:
-                obj = self.store.get(oid)
+                obj = fetch(oid)
                 if not obj.is_delta:
                     payload = obj.payload
                     node_cost[oid] = obj.storage_cost()
@@ -471,9 +525,7 @@ class BatchMaterializer:
                 object_id=object_id,
                 payload=payloads[object_id],
                 chain_length=len(chain_ids) - 1,
-                predicted_cost=sum(
-                    self._chain_info[oid].phi_contribution for oid in chain_ids
-                ),
+                predicted_cost=self.store.chain_stats(object_id).phi_total,
                 recreation_cost=paid,
                 deltas_applied=deltas_applied,
                 cache_hits=cache_hits,
@@ -486,9 +538,6 @@ class BatchMaterializer:
         chain_ids: tuple[str, ...],
         fetch: Callable[[str], Any] | None = None,
     ) -> BatchItem:
-        predicted = sum(
-            self._chain_info[oid].phi_contribution for oid in chain_ids
-        )
         payload, paid, deltas_applied, cache_hits = replay_chain(
             chain_ids, fetch if fetch is not None else self.store.get,
             self.cache, self.encoder,
@@ -498,7 +547,7 @@ class BatchMaterializer:
             object_id=object_id,
             payload=payload,
             chain_length=len(chain_ids) - 1,
-            predicted_cost=predicted,
+            predicted_cost=self.store.chain_stats(object_id).phi_total,
             recreation_cost=paid,
             deltas_applied=deltas_applied,
             cache_hits=cache_hits,

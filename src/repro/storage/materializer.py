@@ -14,6 +14,7 @@ batch engine (:mod:`repro.storage.batch`) key intermediate payloads on.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
@@ -31,39 +32,51 @@ class LRUPayloadCache:
 
     ``capacity <= 0`` disables the cache entirely (every lookup misses,
     every insert is dropped), which lets callers share one code path.
+
+    Every operation is atomic behind an internal lock: the batch engine's
+    union-tree workers and concurrently served checkouts all read and warm
+    one shared cache, so ``move_to_end``/eviction must never interleave
+    mid-flight.  Payload *values* are shared by reference and treated as
+    immutable by every caller, exactly as before.
     """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str) -> Any:
         """The cached payload for ``key``, or the module-level miss sentinel."""
-        if self.capacity <= 0 or key not in self._entries:
-            self.misses += 1
-            return _MISS
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return self._entries[key]
+        with self._lock:
+            if self.capacity <= 0 or key not in self._entries:
+                self.misses += 1
+                return _MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
 
     def put(self, key: str, payload: Any) -> None:
-        if self.capacity <= 0:
-            return
-        self._entries[key] = payload
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def __contains__(self, key: str) -> bool:
-        return self.capacity > 0 and key in self._entries
+        with self._lock:
+            return self.capacity > 0 and key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @staticmethod
     def is_miss(value: Any) -> bool:

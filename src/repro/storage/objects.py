@@ -1,4 +1,4 @@
-"""Content-addressed object store.
+"""Content-addressed object store with an incremental cost index.
 
 The prototype version manager persists two kinds of objects:
 
@@ -13,6 +13,22 @@ actually live is delegated to a :class:`~repro.storage.backends.StorageBackend`
 (in-memory by default; plain or compressed files on disk via ``file://`` /
 ``zip://`` specs), which keeps the repository and planner code independent
 of the physical medium.
+
+**The cost index.**  Because objects are content-addressed they are
+immutable: an object's storage cost, Φ contribution and base link can never
+change once stored.  The store therefore maintains an incremental metadata
+index (:class:`ObjectMeta` per object, :class:`ChainStats` per chain tip)
+filled at *write* time — every ``put_full``/``put_delta`` records its entry
+— and backfilled from any read that fetches an object anyway.  Chain
+pricing questions (``chain_ids``, ``chain_stats``, ``chain_root``) are
+answered from this index with pure dictionary walks: no payload is
+replayed, and for a store whose objects were all committed through it, no
+backend read happens at all.  This is what lets the repacker and the
+serving stats price plans without scanning payloads under a lock, and what
+gives the serving layer a stable per-chain key (the chain's root object)
+for its striped locks.  All index state is guarded by one internal
+re-entrant lock, so concurrent readers, a staging repack and a stats
+snapshot can share a store safely.
 """
 
 from __future__ import annotations
@@ -21,13 +37,13 @@ import hashlib
 import pickle
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from ..delta.base import Delta, payload_size
 from ..exceptions import ObjectNotFoundError
 from .backends import FilesystemBackend, StorageBackend, open_backend
 
-__all__ = ["StoredObject", "ObjectStore"]
+__all__ = ["StoredObject", "ObjectStore", "ObjectMeta", "ChainStats"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,39 @@ class StoredObject:
         return payload_size(self.payload)
 
 
+@dataclass(frozen=True)
+class ObjectMeta:
+    """Immutable per-object index entry: costs and the base link.
+
+    ``phi`` is the object's contribution to the Φ chain sum of any chain
+    that traverses it (a delta's recreation cost; a full object's size).
+    """
+
+    base_id: str | None
+    storage_cost: float
+    phi: float
+
+    @property
+    def is_delta(self) -> bool:
+        return self.base_id is not None
+
+
+@dataclass(frozen=True)
+class ChainStats:
+    """Aggregate pricing of one delta chain, keyed by its tip object.
+
+    ``phi_total`` is exactly the recreation cost a cold checkout of the
+    tip pays (the paper's Φ chain sum); ``num_deltas`` the applications it
+    performs; ``root_id`` the chain's full object — the serving layer's
+    lock-striping key.
+    """
+
+    root_id: str
+    length: int
+    num_deltas: int
+    phi_total: float
+
+
 class ObjectStore:
     """A content-addressed store for full and delta objects.
 
@@ -77,14 +126,16 @@ class ObjectStore:
         if directory is not None:
             backend = FilesystemBackend(directory)
         self.backend = open_backend(backend)
-        # Lazy id -> storage-cost index: objects are content-addressed, so a
-        # cost never changes once stored; maintaining the index on writes
-        # keeps total_storage_cost() from re-reading (and, for zip://,
-        # re-inflating) the whole backend on every call.  The lock keeps the
-        # index coherent when an online repack stages writes while another
-        # thread totals storage for a stats snapshot.
-        self._cost_index: dict[str, float] | None = None
-        self._index_lock = threading.Lock()
+        # The incremental cost index: object id -> ObjectMeta, filled on
+        # every write and on any read that touches the object anyway, plus
+        # memoized per-tip ChainStats (chains are immutable under content
+        # addressing, so a computed total never needs invalidation — only
+        # removal).  The lock keeps the index coherent when an online
+        # repack stages writes while request threads resolve chains and a
+        # stats snapshot totals storage.
+        self._meta: dict[str, ObjectMeta] = {}
+        self._chain_stats: dict[str, ChainStats] = {}
+        self._index_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # writing
@@ -113,21 +164,27 @@ class ObjectStore:
         """Remove an object (no error if absent).  Used by the re-packer."""
         self.backend.delete(object_id)
         with self._index_lock:
-            if self._cost_index is not None:
-                self._cost_index.pop(object_id, None)
+            if self._meta.pop(object_id, None) is not None:
+                # Chain totals memoized for *descendant* tips route through
+                # the removed object; there is no reverse index to find
+                # them, so drop the whole memo — per-object metadata stays,
+                # and live tips rebuild their totals with dictionary walks.
+                self._chain_stats.clear()
 
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
     def get(self, object_id: str) -> StoredObject:
-        """Fetch an object by id."""
+        """Fetch an object by id (recording its index entry as a side effect)."""
         try:
-            return self.backend.get(object_id)
+            obj = self.backend.get(object_id)
         except KeyError:
             raise ObjectNotFoundError(
                 f"object {object_id!r} is not in the store (backend "
                 f"{self.backend.spec()!r})"
             ) from None
+        self._note(obj)
+        return obj
 
     def __contains__(self, object_id: str) -> bool:
         return object_id in self.backend
@@ -150,17 +207,33 @@ class ObjectStore:
         # can never change cost, so only added/removed ids need reads.
         keys = set(self.backend.keys())
         with self._index_lock:
-            if self._cost_index is None:
-                self._cost_index = {}
-            for object_id in [oid for oid in self._cost_index if oid not in keys]:
-                del self._cost_index[object_id]
-            missing = keys - self._cost_index.keys()
-        costs = {oid: self.backend.get(oid).storage_cost() for oid in missing}
+            candidates = [oid for oid in self._meta if oid not in keys]
+        # Re-probe each prune candidate before evicting it: an object
+        # written after the keys() snapshot (a repack staging concurrently
+        # with this total) is absent from the snapshot but very much alive,
+        # and dropping its index entry would force the swap to re-read it
+        # inside the exclusive barrier.
+        for object_id in candidates:
+            if object_id in self.backend:
+                keys.add(object_id)
+                continue
+            with self._index_lock:
+                if self._meta.pop(object_id, None) is not None:
+                    self._chain_stats.clear()  # see remove()
         with self._index_lock:
-            assert self._cost_index is not None
-            self._cost_index.update(costs)
+            missing = keys - self._meta.keys()
+        for object_id in missing:
+            try:
+                self.get(object_id)
+            except ObjectNotFoundError:
+                keys.discard(object_id)  # deleted by a peer mid-scan
+        with self._index_lock:
             return float(
-                sum(self._cost_index[oid] for oid in keys if oid in self._cost_index)
+                sum(
+                    self._meta[oid].storage_cost
+                    for oid in keys
+                    if oid in self._meta
+                )
             )
 
     def get_many(self, object_ids: list[str]) -> dict[str, StoredObject]:
@@ -169,7 +242,9 @@ class ObjectStore:
         Local backends loop over single gets; a chain-following remote
         backend answers the whole request in one round trip.
         """
-        return self.backend.get_many(object_ids)
+        found = self.backend.get_many(object_ids)
+        self.note_objects(found.values())
+        return found
 
     def delta_chain(self, object_id: str) -> list[StoredObject]:
         """The chain of objects needed to materialize ``object_id``.
@@ -200,6 +275,7 @@ class ObjectStore:
     def _remote_delta_chain(self, object_id: str) -> list[StoredObject]:
         """One-round-trip chain fetch against a chain-following backend."""
         objects = self.backend.get_many([object_id], follow_bases=True)
+        self.note_objects(objects.values())
         chain: list[StoredObject] = []
         seen: set[str] = set()
         current_id: str | None = object_id
@@ -223,6 +299,132 @@ class ObjectStore:
         return chain
 
     # ------------------------------------------------------------------ #
+    # the incremental cost index
+    # ------------------------------------------------------------------ #
+    def note_objects(self, objects: Iterable[StoredObject]) -> None:
+        """Record index entries for objects fetched through other paths."""
+        for obj in objects:
+            self._note(obj)
+
+    def cached_chain_ids(self, object_id: str) -> tuple[str, ...] | None:
+        """The root-first chain of ``object_id`` if the index can answer it
+        without any backend read; ``None`` when some link is unknown."""
+        with self._index_lock:
+            reversed_chain: list[str] = []
+            current_id: str | None = object_id
+            while current_id is not None:
+                meta = self._meta.get(current_id)
+                if meta is None or len(reversed_chain) > len(self._meta):
+                    return None
+                reversed_chain.append(current_id)
+                current_id = meta.base_id
+        reversed_chain.reverse()
+        return tuple(reversed_chain)
+
+    def chain_ids(self, object_id: str) -> tuple[str, ...]:
+        """The root-first id chain of ``object_id``, from the index.
+
+        Unknown links are backfilled by reading the object (one multiget
+        for the whole remaining segment on a chain-following remote
+        backend); links already indexed cost a dictionary lookup only.
+        """
+        follows = getattr(self.backend, "follows_chains", False)
+        reversed_chain: list[str] = []
+        seen: set[str] = set()
+        current_id: str | None = object_id
+        while current_id is not None:
+            with self._index_lock:
+                meta = self._meta.get(current_id)
+            if meta is None:
+                if follows:
+                    # One round trip resolves the whole remaining segment.
+                    self.note_objects(
+                        self.backend.get_many([current_id], follow_bases=True).values()
+                    )
+                    with self._index_lock:
+                        meta = self._meta.get(current_id)
+                if meta is None:
+                    self.get(current_id)  # raises ObjectNotFoundError if absent
+                    with self._index_lock:
+                        meta = self._meta[current_id]
+            if current_id in seen:
+                raise ObjectNotFoundError(
+                    f"delta chain of {object_id!r} contains a cycle"
+                )
+            seen.add(current_id)
+            reversed_chain.append(current_id)
+            current_id = meta.base_id
+        reversed_chain.reverse()
+        return tuple(reversed_chain)
+
+    def chain_stats(self, object_id: str) -> ChainStats:
+        """Aggregate Φ/delta-count pricing of ``object_id``'s chain.
+
+        Memoized per tip (and for every prefix of the walked chain, since
+        each prefix is a chain in its own right); content addressing makes
+        the memo permanently valid until the object is removed.
+        """
+        with self._index_lock:
+            cached = self._chain_stats.get(object_id)
+        if cached is not None:
+            return cached
+        ids = self.chain_ids(object_id)
+        with self._index_lock:
+            phi_total = 0.0
+            num_deltas = 0
+            stats = None
+            for index, oid in enumerate(ids):
+                meta = self._meta.get(oid)
+                if meta is None:  # pragma: no cover - peer removed mid-walk
+                    raise ObjectNotFoundError(oid)
+                phi_total += meta.phi
+                if meta.is_delta:
+                    num_deltas += 1
+                stats = ChainStats(
+                    root_id=ids[0],
+                    length=index + 1,
+                    num_deltas=num_deltas,
+                    phi_total=phi_total,
+                )
+                self._chain_stats.setdefault(oid, stats)
+            assert stats is not None
+            return stats
+
+    def chain_root(self, object_id: str) -> str:
+        """Root full object of ``object_id``'s chain (the lock-striping key)."""
+        return self.chain_stats(object_id).root_id
+
+    def cached_chain_root(self, object_id: str) -> str | None:
+        """``object_id``'s chain root in O(1) from the stats memo, or ``None``.
+
+        Never walks or fetches anything — a single locked dictionary
+        lookup, cheap enough for the per-request hot path (every
+        materialization memoizes its tip's stats, so only the very first
+        request for a chain misses).
+        """
+        with self._index_lock:
+            stats = self._chain_stats.get(object_id)
+        return stats.root_id if stats is not None else None
+
+    def prime_chains(self, object_ids: Sequence[str]) -> dict[str, StoredObject]:
+        """Resolve many chains in one exchange on a remote backend.
+
+        For a chain-following backend, every tip the index cannot already
+        resolve is fetched — whole chains included — in a single
+        ``multiget`` round trip; the fetched objects are returned so a
+        batch replay can consume them without re-fetching.  Local backends
+        return ``{}`` (per-object reads are already as cheap as it gets).
+        """
+        if not getattr(self.backend, "follows_chains", False):
+            return {}
+        unknown = [oid for oid in object_ids if self.cached_chain_ids(oid) is None]
+        if not unknown:
+            return {}
+        objects = self.backend.get_many(unknown, follow_bases=True)
+        self.note_objects(objects.values())
+        return objects
+
+    # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -232,6 +434,22 @@ class ObjectStore:
 
     def _store(self, obj: StoredObject) -> None:
         self.backend.put(obj.object_id, obj)
+        self._note(obj)
+
+    def _note(self, obj: StoredObject) -> None:
+        """Record ``obj``'s immutable index entry (idempotent)."""
         with self._index_lock:
-            if self._cost_index is not None:
-                self._cost_index[obj.object_id] = obj.storage_cost()
+            if obj.object_id in self._meta:
+                return
+        if obj.is_delta:
+            delta: Delta = obj.payload
+            meta = ObjectMeta(
+                base_id=obj.base_id,
+                storage_cost=delta.storage_cost,
+                phi=delta.recreation_cost,
+            )
+        else:
+            cost = payload_size(obj.payload)
+            meta = ObjectMeta(base_id=None, storage_cost=cost, phi=cost)
+        with self._index_lock:
+            self._meta.setdefault(obj.object_id, meta)

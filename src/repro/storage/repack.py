@@ -74,33 +74,26 @@ def plan_order(plan: StoragePlan) -> list[VersionID]:
 def expected_workload_cost(
     repository: "Repository",
     frequencies: Mapping[VersionID, float] | None = None,
-    *,
-    reader: BatchMaterializer | None = None,
 ) -> dict[str, float]:
     """Expected recreation cost of serving ``frequencies`` cache-cold.
 
-    Each version's cost is the Φ chain sum of its *current* encoding
-    (pulled from chain metadata, no payload replay), weighted by its access
-    frequency (uniform when ``frequencies`` is ``None``; zero-frequency
-    versions are skipped entirely).  Returns the weighted ``total``, the
-    ``per_request`` mean, and the total ``weight`` — the quantity an online
-    repack is supposed to shrink, measurable before and after without
-    replaying a single request.
-
-    ``reader`` selects which materializer's chain-metadata memo to consult
-    (default: the repository's batch materializer); the serving layer
-    passes its own, already warm from live traffic, so pricing a stats
-    snapshot re-reads as few objects as possible.
+    Each version's cost is the Φ chain sum of its *current* encoding —
+    answered by the object store's incremental cost index (maintained at
+    commit/repack time), so no payload is replayed and no exclusive lock is
+    needed — weighted by its access frequency (uniform when ``frequencies``
+    is ``None``; zero-frequency versions are skipped entirely).  Returns
+    the weighted ``total``, the ``per_request`` mean, and the total
+    ``weight`` — the quantity an online repack is supposed to shrink,
+    measurable before and after without replaying a single request.
     """
-    if reader is None:
-        reader = repository.batch_materializer
+    store = repository.store
     total = 0.0
     weight = 0.0
     for vid in repository.graph.version_ids:
         freq = 1.0 if frequencies is None else float(frequencies.get(vid, 0.0))
         if freq <= 0.0:
             continue
-        cost = reader.predicted_chain_cost(repository.object_id_of(vid))
+        cost = store.chain_stats(repository.object_id_of(vid)).phi_total
         total += freq * cost
         weight += freq
     return {
@@ -246,9 +239,13 @@ class OnlineRepacker:
         """Repoint every version at its new object and collect the garbage.
 
         The caller must exclude concurrent readers and writers (the serving
-        layer holds its serving lock); the swap itself is quick — repoint,
-        sweep unreferenced objects, drop stale payload caches, bump the
-        epoch.
+        layer takes its coordinator's exclusive barrier); the swap itself
+        is quick — repoint, sweep unreferenced objects, drop stale payload
+        caches, bump the epoch.  Nothing here replays or even reads a
+        payload: the referenced set comes from the store's cost index
+        (every staged object was indexed at write time, every old object
+        when the rebuild streamed it), so the exclusive window stays at
+        dictionary-walk cost no matter how large the store is.
         """
         repository = self.repository
         for vid, object_id in staged.new_objects.items():
@@ -260,8 +257,7 @@ class OnlineRepacker:
         # bases still referenced by chains outside the plan.
         referenced: set[str] = set()
         for vid in repository.graph.version_ids:
-            for obj in repository.store.delta_chain(repository.object_id_of(vid)):
-                referenced.add(obj.object_id)
+            referenced.update(repository.store.chain_ids(repository.object_id_of(vid)))
         for object_id in staged.old_objects:
             if object_id not in referenced:
                 repository.store.remove(object_id)
@@ -271,9 +267,13 @@ class OnlineRepacker:
         repository.batch_materializer.clear_cache()
         self.epoch += 1
 
+        # Deliberately no ``storage_after`` here: totalling storage
+        # enumerates backend keys (and reads any object the index has not
+        # seen — e.g. orphans left by a crashed staging), which must not
+        # happen inside the caller's exclusive window.  Callers add it
+        # after the barrier; see :meth:`repack`.
         return {
             "storage_before": staged.storage_before,
-            "storage_after": repository.total_storage_cost(),
             "num_versions": float(len(staged.plan)),
             "num_materialized": float(len(staged.plan.materialized_versions())),
             "num_deltas": float(staged.num_deltas),
@@ -286,4 +286,6 @@ class OnlineRepacker:
     def repack(self, plan: StoragePlan) -> dict[str, float]:
         """``rebuild`` + ``swap`` under the repack lock (offline callers)."""
         with self.lock:
-            return self.swap(self.rebuild(plan))
+            report = self.swap(self.rebuild(plan))
+            report["storage_after"] = self.repository.total_storage_cost()
+            return report

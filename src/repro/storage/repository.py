@@ -282,6 +282,19 @@ class Repository:
         """Storage cost of every object currently in the store."""
         return self.store.total_storage_cost()
 
+    def chain_stats(self, version_id: VersionID):
+        """Chain pricing of ``version_id`` from the store's cost index.
+
+        Returns the store's :class:`~repro.storage.objects.ChainStats` —
+        Φ chain total, delta count, chain length and root object — without
+        replaying any payload.  The index is maintained incrementally at
+        commit time (:meth:`commit` writes the entry as a side effect of
+        storing the object) and across repacks (staged objects are indexed
+        when written, dead ones evicted when collected), so this is cheap
+        enough for per-request policy decisions.
+        """
+        return self.store.chain_stats(self.object_id_of(version_id))
+
     # ------------------------------------------------------------------ #
     # bridging to the optimization layer
     # ------------------------------------------------------------------ #

@@ -10,15 +10,33 @@ to the optimizers (:meth:`frequencies` produces exactly the
 ``access_frequencies`` mapping a
 :class:`~repro.core.instance.ProblemInstance` consumes).
 
+Next to the raw all-time counts the log maintains a **decaying view**: an
+exponentially-weighted count per version with a configurable *half-life*
+measured in accesses (after ``half_life`` further requests, an old access
+counts half).  Raw counts answer "what was ever popular"; decayed weights
+answer "what is popular *now*" — the view a repacker should optimize for
+when the workload drifts (:meth:`decayed_frequencies`).  The clock is the
+total access count, not wall time, so the view is deterministic and
+testable.
+
 Design notes:
 
-* The on-disk format is one JSON array ``[version_id, count]`` per line.
-  Appends are tiny and self-delimiting, so a crash mid-write loses at most
-  the final line — :meth:`_load` tolerates (and drops) a torn tail instead
-  of refusing to start.
+* The on-disk format is one JSON array ``[version_id, count]`` per line
+  (compacted lines carry a third element, the decayed weight at compaction
+  time, so the decaying view survives restarts too).  Appends are tiny and
+  self-delimiting, so a crash mid-write loses at most the final line —
+  :meth:`_load` tolerates (and drops) a torn tail instead of refusing to
+  start.
 * The file is compacted automatically once it holds many more lines than
   distinct versions (every version's total collapses to one line), keeping
-  replay-on-start O(distinct versions) for long-lived servers.
+  replay-on-start O(distinct versions) for long-lived servers.  Compaction
+  collapses the event *ordering*, so the reloaded decayed view treats the
+  compacted history as one point mass — an approximation that only affects
+  history already at least one compaction old.  The seeded weights carry
+  the half-life they were maintained under: replaying a compacted file
+  with a *different* half-life (``decayed_frequencies(half_life=N)``,
+  ``repro repack --half-life N``) rescales only post-compaction events
+  exactly; the pre-compaction mass keeps its original scale.
 * All operations are thread-safe behind one internal lock; the serving
   layer calls :meth:`record` from request threads directly.
 """
@@ -32,12 +50,24 @@ from typing import Iterable, Sequence
 
 from ..core.version import VersionID
 
-__all__ = ["WorkloadLog"]
+__all__ = ["WorkloadLog", "DEFAULT_HALF_LIFE"]
 
 #: Compact once the file holds this many times more lines than distinct
 #: versions (and at least ``_COMPACT_MIN_LINES`` lines overall).
 _COMPACT_FACTOR = 8
 _COMPACT_MIN_LINES = 256
+
+#: Default half-life of the decaying view, in accesses.
+DEFAULT_HALF_LIFE = 256.0
+
+
+def _decay(weight: float, elapsed: float, half_life: float) -> float:
+    """``weight`` after ``elapsed`` accesses under ``half_life`` decay.
+
+    The single definition of the decay model — the live fold, snapshots
+    and file replay must all age weights identically or the views drift.
+    """
+    return weight * 0.5 ** (elapsed / half_life)
 
 
 class WorkloadLog:
@@ -46,12 +76,21 @@ class WorkloadLog:
     ``path=None`` keeps the log purely in memory (used by tests and
     embedded services); with a path, counts recorded by a previous process
     are replayed on construction and every new access is appended.
+    ``half_life`` configures the decaying view (in accesses).
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(
+        self, path: str | None = None, *, half_life: float = DEFAULT_HALF_LIFE
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive (accesses)")
         self.path = path
+        self.half_life = float(half_life)
         self._lock = threading.Lock()
         self._counts: dict[VersionID, int] = {}
+        # Decaying view: version -> (weight, tick of last update); weights
+        # decay lazily by 0.5 ** (elapsed_accesses / half_life).
+        self._decayed: dict[VersionID, tuple[float, int]] = {}
         self._total = 0
         self._file_lines = 0
         self._needs_newline = False
@@ -66,8 +105,7 @@ class WorkloadLog:
         if count <= 0:
             raise ValueError("access count must be positive")
         with self._lock:
-            self._counts[version_id] = self._counts.get(version_id, 0) + count
-            self._total += count
+            self._fold_locked(version_id, count)
             self._append_locked([(version_id, count)])
 
     def record_many(self, version_ids: Iterable[VersionID]) -> None:
@@ -79,9 +117,22 @@ class WorkloadLog:
             return
         with self._lock:
             for vid, count in entries.items():
-                self._counts[vid] = self._counts.get(vid, 0) + count
-                self._total += count
+                self._fold_locked(vid, count)
             self._append_locked(entries.items())
+
+    def _fold_locked(self, version_id: VersionID, count: int) -> None:
+        """Advance counts, the decayed view and the access clock by one event.
+
+        Events are stamped with the *post*-increment clock, so an access
+        never decays against itself: a version touched by the most recent
+        request carries its full weight.
+        """
+        self._counts[version_id] = self._counts.get(version_id, 0) + count
+        self._total += count
+        tick = self._total
+        weight, last = self._decayed.get(version_id, (0.0, tick))
+        weight = _decay(weight, tick - last, self.half_life) + count
+        self._decayed[version_id] = (weight, tick)
 
     # ------------------------------------------------------------------ #
     # reading
@@ -90,6 +141,18 @@ class WorkloadLog:
         """Snapshot of the per-version access counts."""
         with self._lock:
             return dict(self._counts)
+
+    def decayed_counts(self) -> dict[VersionID, float]:
+        """Snapshot of the decaying view, decayed to the current clock."""
+        with self._lock:
+            return self._decayed_snapshot_locked()
+
+    def _decayed_snapshot_locked(self) -> dict[VersionID, float]:
+        now = self._total
+        return {
+            vid: _decay(weight, now - last, self.half_life)
+            for vid, (weight, last) in self._decayed.items()
+        }
 
     @property
     def total_accesses(self) -> int:
@@ -108,7 +171,7 @@ class WorkloadLog:
         *,
         smoothing: float = 0.0,
     ) -> dict[VersionID, float]:
-        """The logged workload as an access-frequency vector.
+        """The logged workload as an access-frequency vector (raw counts).
 
         With ``version_ids`` the vector covers exactly those versions:
         logged counts for other (e.g. deleted) versions are dropped and
@@ -119,9 +182,62 @@ class WorkloadLog:
         """
         with self._lock:
             counts = dict(self._counts)
+        return self._vector({vid: float(c) for vid, c in counts.items()},
+                            version_ids, smoothing)
+
+    def decayed_frequencies(
+        self,
+        version_ids: Sequence[VersionID] | None = None,
+        *,
+        half_life: float | None = None,
+        smoothing: float = 0.0,
+    ) -> dict[VersionID, float]:
+        """The logged workload as a *decaying* frequency vector.
+
+        Recent accesses dominate: after ``half_life`` further requests an
+        access contributes half its original weight, so a repacker planning
+        against this vector tracks the drifting workload instead of
+        all-time popularity.  ``half_life`` defaults to the log's
+        configured one; a *different* half-life is recomputed by replaying
+        the on-disk log (file-backed logs only — an in-memory log keeps no
+        event order to replay).  Compacted history replays approximately:
+        its seeded weights keep the scale of the half-life they were
+        maintained under (see the module notes), while every
+        post-compaction event is rescaled exactly.
+        """
+        if half_life is not None and half_life <= 0:
+            raise ValueError("half_life must be positive (accesses)")
+        if half_life is None or half_life == self.half_life:
+            with self._lock:
+                weights = self._decayed_snapshot_locked()
+        elif self.path is not None:
+            # Deliberately outside the lock: the whole-file replay may be
+            # long, and request threads append under the same lock — the
+            # write-then-rename compaction makes a snapshot read safe.
+            if os.path.exists(self.path):
+                _, decayed, total, _, _ = self._parse_file(half_life)
+                weights = {
+                    vid: _decay(weight, total - last, half_life)
+                    for vid, (weight, last) in decayed.items()
+                }
+            else:
+                weights = {}  # file-backed but nothing ever logged
+        else:
+            raise ValueError(
+                "an in-memory workload log cannot recompute a different "
+                "half-life; construct it with the one you need"
+            )
+        return self._vector(weights, version_ids, smoothing)
+
+    @staticmethod
+    def _vector(
+        weights: dict[VersionID, float],
+        version_ids: Sequence[VersionID] | None,
+        smoothing: float,
+    ) -> dict[VersionID, float]:
         if version_ids is None:
-            return {vid: float(count) for vid, count in counts.items()}
-        vector = {vid: float(counts.get(vid, 0)) + smoothing for vid in version_ids}
+            return weights
+        vector = {vid: weights.get(vid, 0.0) + smoothing for vid in version_ids}
         if not any(vector.values()):
             return {}
         return vector
@@ -133,6 +249,10 @@ class WorkloadLog:
                 "path": self.path,
                 "total_accesses": self._total,
                 "distinct_versions": len(self._counts),
+                "half_life": self.half_life,
+                "decayed_total": float(
+                    sum(self._decayed_snapshot_locked().values())
+                ),
             }
 
     # ------------------------------------------------------------------ #
@@ -142,6 +262,7 @@ class WorkloadLog:
         """Forget every recorded access (and truncate the file)."""
         with self._lock:
             self._counts.clear()
+            self._decayed.clear()
             self._total = 0
             self._file_lines = 0
             self._needs_newline = False
@@ -158,8 +279,9 @@ class WorkloadLog:
     # internals
     # ------------------------------------------------------------------ #
     def _load(self) -> None:
-        counts, total, lines, torn = self._parse_file()
+        counts, decayed, total, lines, torn = self._parse_file()
         self._counts = counts
+        self._decayed = decayed
         self._total = total
         self._file_lines = lines
         # A file not ending in a newline carries a torn tail from a crash
@@ -167,21 +289,34 @@ class WorkloadLog:
         # start on a fresh line instead of gluing onto the fragment.
         self._needs_newline = torn
 
-    def _parse_file(self) -> tuple[dict[VersionID, int], int, int, bool]:
-        """Aggregate the on-disk log: ``(counts, total, lines, torn_tail)``."""
+    def _parse_file(
+        self, half_life: float | None = None
+    ) -> tuple[
+        dict[VersionID, int], dict[VersionID, tuple[float, int]], int, int, bool
+    ]:
+        """Replay the on-disk log: counts, decayed view, total, lines, torn."""
+        half_life = half_life if half_life is not None else self.half_life
         with open(self.path, "r", encoding="utf-8") as handle:  # type: ignore[arg-type]
             raw = handle.read()
         counts: dict[VersionID, int] = {}
+        decayed: dict[VersionID, tuple[float, int]] = {}
         total = 0
         lines = 0
+        # Compacted (3-element) lines form the leading block of the file and
+        # all carry weights snapshotted at one instant — the end of that
+        # block.  Collect them and stamp them together once the block ends,
+        # so replay does not re-decay history the seed already discounted.
+        pending_seeds: dict[VersionID, float] = {}
+        in_seeded_block = True
         for line in raw.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
-                vid, count = json.loads(line)
-                count = int(count)
-            except (ValueError, TypeError):
+                entry = json.loads(line)
+                vid, count = entry[0], int(entry[1])
+                seed = float(entry[2]) if len(entry) > 2 else None
+            except (ValueError, TypeError, IndexError, KeyError):
                 # A torn tail from a crash mid-append: drop it rather
                 # than refusing to start; at most one access is lost.
                 continue
@@ -190,7 +325,22 @@ class WorkloadLog:
             counts[vid] = counts.get(vid, 0) + count
             total += count
             lines += 1
-        return counts, total, lines, bool(raw) and not raw.endswith("\n")
+            if seed is not None and in_seeded_block:
+                pending_seeds[vid] = pending_seeds.get(vid, 0.0) + seed
+                continue
+            if in_seeded_block:
+                in_seeded_block = False
+                for seeded_vid, weight in pending_seeds.items():
+                    decayed[seeded_vid] = (weight, total - count)
+                pending_seeds = {}
+            tick = total
+            weight, last = decayed.get(vid, (0.0, tick))
+            weight = _decay(weight, tick - last, half_life)
+            weight += count if seed is None else seed
+            decayed[vid] = (weight, tick)
+        for seeded_vid, weight in pending_seeds.items():
+            decayed[seeded_vid] = (weight, total)
+        return counts, decayed, total, lines, bool(raw) and not raw.endswith("\n")
 
     def _append_locked(self, entries: Iterable[tuple[VersionID, int]]) -> None:
         if self.path is None:
@@ -215,15 +365,21 @@ class WorkloadLog:
         # disk too — so the file is the superset.  Adopt the merged totals
         # as the new in-memory state, then write-then-rename so a crash
         # mid-compaction leaves the old file (or the complete new one) —
-        # never a half-written log.
+        # never a half-written log.  Each compacted line carries the
+        # decayed weight at compaction time as a third element, seeding the
+        # decaying view of the next load.
         if os.path.exists(self.path):
-            counts, total, _, _ = self._parse_file()
+            counts, decayed, total, _, _ = self._parse_file()
             self._counts = counts
+            self._decayed = decayed
             self._total = total
+        snapshot = self._decayed_snapshot_locked()
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for vid, count in self._counts.items():
-                handle.write(json.dumps([vid, count]) + "\n")
+                handle.write(
+                    json.dumps([vid, count, round(snapshot.get(vid, 0.0), 6)]) + "\n"
+                )
         os.replace(tmp_path, self.path)
         self._file_lines = len(self._counts)
         self._needs_newline = False
@@ -231,5 +387,5 @@ class WorkloadLog:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<WorkloadLog path={self.path!r} accesses={self._total} "
-            f"versions={len(self._counts)}>"
+            f"versions={len(self._counts)} half_life={self.half_life}>"
         )

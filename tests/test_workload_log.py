@@ -213,3 +213,125 @@ class TestServiceIntegration:
             thread.join()
         # Every request — leader and coalesced waiters — is real demand.
         assert service.workload_log.counts()[vids[-1]] == 6
+
+
+class TestDecayingView:
+    def test_decayed_tracks_recency_not_totals(self):
+        """Old-hot/new-hot flip: raw counts tie, the decayed view doesn't."""
+        log = WorkloadLog(half_life=10.0)
+        for _ in range(20):
+            log.record("old")
+        for _ in range(20):
+            log.record("new")
+        counts = log.counts()
+        assert counts["old"] == counts["new"] == 20
+        decayed = log.decayed_counts()
+        # 20 accesses (= 2 half-lives) have passed since "old" was hot.
+        assert decayed["new"] > 2 * decayed["old"]
+
+    def test_decay_halves_per_half_life(self):
+        log = WorkloadLog(half_life=4.0)
+        log.record("v0")  # weight 1 at tick 0
+        log.record_many(["filler"] * 4)  # clock advances one half-life
+        assert log.decayed_counts()["v0"] == pytest.approx(0.5)
+        assert log.counts()["v0"] == 1
+
+    def test_decayed_frequencies_vector_shape_matches_raw(self):
+        log = WorkloadLog(half_life=8.0)
+        log.record("v0", count=4)
+        vector = log.decayed_frequencies(["v0", "v1"])
+        assert set(vector) == {"v0", "v1"}
+        assert vector["v1"] == 0.0
+        assert vector["v0"] > 0.0
+        assert log.decayed_frequencies(["never"]) == {}
+
+    def test_rejects_non_positive_half_life(self):
+        with pytest.raises(ValueError):
+            WorkloadLog(half_life=0.0)
+        log = WorkloadLog()
+        with pytest.raises(ValueError):
+            log.decayed_frequencies(["v0"], half_life=-1.0)
+
+    def test_in_memory_log_cannot_recompute_other_half_life(self):
+        log = WorkloadLog(half_life=8.0)
+        log.record("v0")
+        with pytest.raises(ValueError):
+            log.decayed_frequencies(["v0"], half_life=2.0)
+
+    def test_decayed_view_survives_restart(self, tmp_path):
+        path = str(tmp_path / "workload.log")
+        log = WorkloadLog(path, half_life=10.0)
+        for _ in range(20):
+            log.record("old")
+        for _ in range(20):
+            log.record("new")
+        expected = log.decayed_counts()
+        reloaded = WorkloadLog(path, half_life=10.0)
+        assert reloaded.decayed_counts()["new"] == pytest.approx(expected["new"])
+        assert reloaded.decayed_counts()["old"] == pytest.approx(expected["old"])
+
+    def test_file_backed_log_recomputes_any_half_life(self, tmp_path):
+        """`--half-life N` replays the on-disk event order with N."""
+        path = str(tmp_path / "workload.log")
+        log = WorkloadLog(path, half_life=100.0)
+        for _ in range(10):
+            log.record("old")
+        for _ in range(10):
+            log.record("new")
+        sharp = log.decayed_frequencies(["old", "new"], half_life=5.0)
+        blunt = log.decayed_frequencies(["old", "new"], half_life=100.0)
+        # A sharper half-life discounts the old version far more.
+        assert sharp["new"] / max(sharp["old"], 1e-9) > blunt["new"] / blunt["old"]
+
+    def test_compaction_preserves_decayed_weights(self, tmp_path):
+        path = str(tmp_path / "workload.log")
+        log = WorkloadLog(path, half_life=10.0)
+        for _ in range(30):
+            log.record("old")
+        for _ in range(30):
+            log.record("new")
+        before = log.decayed_counts()
+        log.compact()
+        after = WorkloadLog(path, half_life=10.0).decayed_counts()
+        assert after["new"] == pytest.approx(before["new"], rel=1e-3)
+        assert after["old"] == pytest.approx(before["old"], rel=1e-3)
+
+    def test_snapshot_reports_half_life(self):
+        log = WorkloadLog(half_life=42.0)
+        log.record("v0", count=3)
+        snapshot = log.snapshot()
+        assert snapshot["half_life"] == 42.0
+        assert snapshot["decayed_total"] == pytest.approx(3.0)
+
+
+class TestHalfLifeRepack:
+    def _build_service(self, tmp_path, num_versions=10):
+        path = str(tmp_path / "workload.log")
+        repo = Repository(cache_size=0)
+        payload = [f"row,{i}" for i in range(25)]
+        vids = [repo.commit(payload)]
+        for step in range(1, num_versions):
+            payload = payload + [f"a,{step}"]
+            vids.append(repo.commit(payload))
+        service = VersionStoreService(
+            repo, workload_log=WorkloadLog(path, half_life=16.0)
+        )
+        return service, vids
+
+    def test_service_repack_accepts_half_life(self, tmp_path):
+        service, vids = self._build_service(tmp_path)
+        for vid in vids:
+            service.checkout(vid)
+        report = service.repack(half_life=16.0, threshold_factor=1.5)
+        assert report["half_life"] == 16.0
+        assert report["workload_aware"] is True
+        assert report["epoch"] == 1
+
+    def test_stats_expose_both_workload_views(self, tmp_path):
+        service, vids = self._build_service(tmp_path)
+        for vid in vids:
+            service.checkout(vid)
+        workload = service.stats()["workload"]
+        assert workload["expected_recreation_cost"]["per_request"] > 0
+        assert workload["decayed"]["half_life"] == 16.0
+        assert workload["decayed"]["expected_recreation_cost"]["per_request"] > 0
