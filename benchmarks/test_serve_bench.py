@@ -4,6 +4,9 @@
   checkout stream served twice through one long-lived
   ``VersionStoreService``, quantifying what `repro serve` buys over
   one-shot CLI checkouts;
+* warm-cost pricing accuracy: per-request `warm_chain_cost` predictions
+  vs the deltas/cost the service actually pays on the same stream — the
+  acceptance experiment for the warm cost model (±15%);
 * concurrent checkout throughput over independent chains: the per-chain
   lock-striping refactor vs the old single-lock server, on a store whose
   fetches carry I/O latency — the acceptance experiment for the parallel
@@ -16,9 +19,49 @@ from repro.bench.batch_bench import batch_benchmark_scenarios
 from repro.bench.serve_bench import (
     concurrent_serving_benchmark,
     serve_warm_vs_cold,
+    warm_pricing_benchmark,
 )
 
 from benchmarks.conftest import bench_scale, print_series_table
+
+
+def test_warm_pricing_accuracy():
+    graphs = batch_benchmark_scenarios(scale=max(1.0, 4 * bench_scale()), seed=7)
+    rows = warm_pricing_benchmark(graphs, num_requests=300, cache_size=16, seed=7)
+
+    print_series_table(
+        "warm cost model: predicted vs measured serving work",
+        [
+            "scenario",
+            "requests",
+            "pred deltas",
+            "meas deltas",
+            "cold pred",
+            "delta err",
+            "cost err",
+        ],
+        [
+            [
+                row["scenario"],
+                int(row["num_requests"]),
+                int(row["predicted_deltas"]),
+                int(row["measured_deltas"]),
+                int(row["cold_predicted_deltas"]),
+                f"{row['delta_rel_error']:.3f}",
+                f"{row['cost_rel_error']:.3f}",
+            ]
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        # The PR's acceptance bar: warm prediction within ±15% of what the
+        # benchmark Zipf workload actually paid (in practice it is exact).
+        assert row["delta_rel_error"] <= 0.15, row
+        assert row["cost_rel_error"] <= 0.15, row
+        # Cold pricing misses warm serving by a wide margin — the gap the
+        # warm model exists to close.
+        assert row["cold_predicted_deltas"] >= 2 * row["measured_deltas"], row
 
 
 def test_serve_warm_vs_cold():

@@ -1,6 +1,13 @@
 """Benchmark drivers for the serving layer.
 
-Two experiments:
+Three experiments:
+
+* :func:`warm_pricing_benchmark` — the warm cost model's accuracy: for a
+  Zipf request stream, each request's
+  :meth:`~repro.storage.batch.BatchMaterializer.warm_chain_cost` is
+  predicted immediately before serving it and the totals are compared to
+  the deltas/cost the service actually paid (and to the cold Φ pricing,
+  which overstates warm serving by orders of magnitude).
 
 * :func:`serve_warm_vs_cold` — ``repro serve`` keeps one
   :class:`~repro.storage.batch.BatchMaterializer` cache alive across
@@ -44,6 +51,7 @@ from .batch_bench import batch_benchmark_scenarios, build_repository_from_graph
 __all__ = [
     "zipf_request_stream",
     "serve_warm_vs_cold",
+    "warm_pricing_benchmark",
     "SimulatedLatencyBackend",
     "build_independent_chains",
     "concurrent_serving_benchmark",
@@ -126,6 +134,86 @@ def serve_warm_vs_cold(
                 "warm_slowest_ms": 1000 * warm_slowest,
                 "mean_cold_ms": 1000 * cold_seconds / num_requests,
                 "mean_warm_ms": 1000 * warm_seconds / num_requests,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# warm-vs-cold pricing: the warm cost model against measured serving work
+# --------------------------------------------------------------------- #
+def warm_pricing_benchmark(
+    graphs: Mapping[str, VersionGraph] | None = None,
+    *,
+    num_requests: int = 300,
+    exponent: float = 2.0,
+    cache_size: int = 16,
+    seed: int = 0,
+) -> list[dict[str, float | str]]:
+    """How well the warm cost model predicts what serving actually pays.
+
+    For every request of a Zipf stream the model's
+    :meth:`~repro.storage.batch.BatchMaterializer.warm_chain_cost` is
+    snapshot *immediately before* the request is served (the cache mutates
+    with every request, so each prediction is judged against exactly the
+    state it priced), then the served response's ``deltas_applied`` and
+    ``recreation_cost`` are accumulated next to the predictions.  The cache
+    is deliberately small relative to the version count so the stream
+    keeps mixing warm and cold chains — the regime where cold pricing is
+    furthest off.  Returns one row per scenario with predicted vs measured
+    totals and their relative error (the acceptance bar: within 15%), plus
+    the cold model's prediction for the same stream as the baseline the
+    warm model improves on.
+    """
+    if graphs is None:
+        graphs = batch_benchmark_scenarios(seed=seed)
+
+    rows: list[dict[str, float | str]] = []
+    for name, graph in graphs.items():
+        repo = build_repository_from_graph(graph, seed=seed)
+        service = VersionStoreService(repo, cache_size=cache_size)
+        stream = zipf_request_stream(
+            repo.graph.version_ids, num_requests, exponent=exponent, seed=seed
+        )
+
+        predicted_deltas = 0
+        predicted_cost = 0.0
+        cold_deltas = 0
+        measured_deltas = 0
+        measured_cost = 0.0
+        for version_id in stream:
+            object_id = repo.object_id_of(version_id)
+            warm = service.materializer.warm_chain_cost(object_id)
+            predicted_deltas += warm.deltas
+            predicted_cost += warm.phi
+            cold_deltas += repo.store.chain_stats(object_id).num_deltas
+            response = service.checkout(version_id)
+            measured_deltas += response.deltas_applied
+            measured_cost += response.recreation_cost
+        service.close()
+
+        delta_error = (
+            abs(predicted_deltas - measured_deltas) / measured_deltas
+            if measured_deltas
+            else 0.0
+        )
+        cost_error = (
+            abs(predicted_cost - measured_cost) / measured_cost
+            if measured_cost
+            else 0.0
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "num_versions": float(len(repo)),
+                "num_requests": float(num_requests),
+                "predicted_deltas": float(predicted_deltas),
+                "measured_deltas": float(measured_deltas),
+                "cold_predicted_deltas": float(cold_deltas),
+                "predicted_cost": predicted_cost,
+                "measured_cost": measured_cost,
+                "delta_rel_error": delta_error,
+                "cost_rel_error": cost_error,
             }
         )
     return rows

@@ -598,6 +598,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .server.httpd import serve
     from .server.service import VersionStoreService
 
+    if args.adaptive_repack and args.repack_budget is not None:
+        raise ReproError(
+            "--adaptive-repack replaces --repack-budget; arm one policy, not both"
+        )
     repo = load_repository(args.repository)
     service = VersionStoreService(
         repo,
@@ -611,6 +615,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workload_log=open_workload_log(args.repository),
         max_workers=args.workers,
         repack_budget=args.repack_budget,
+        auto_repack_interval=args.repack_interval,
+        adaptive_repack=args.adaptive_repack,
+        repack_horizon=args.repack_horizon,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -766,6 +773,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="auto-repack when the expected recreation cost per request "
         "(priced from the incremental cost index) exceeds this budget",
+    )
+    serve.add_argument(
+        "--adaptive-repack",
+        action="store_true",
+        help="replace the fixed budget with the adaptive controller: "
+        "repack when the warm decayed expected cost leaves the hysteresis "
+        "band around the learned baseline AND the staging cost is recouped "
+        "within --repack-horizon requests",
+    )
+    serve.add_argument(
+        "--repack-horizon",
+        type=float,
+        default=1000.0,
+        metavar="N",
+        help="amortization horizon of the adaptive controller, in requests "
+        "(a repack fires only if its estimated staging cost is recouped "
+        "within N requests of per-request gain; default 1000)",
+    )
+    serve.add_argument(
+        "--repack-interval",
+        type=int,
+        default=32,
+        metavar="N",
+        help="evaluate the armed auto-repack policy every N served "
+        "requests (default 32)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -23,7 +23,9 @@ POST      ``/repack``             ``{"problem"?, "threshold"?,
                                   "threshold_factor"?, "hop_limit"?,
                                   "algorithm"?, "workload"?, "half_life"?,
                                   "dry_run"?}`` —
-                                  workload-aware online repack → report
+                                  workload-aware online repack → report;
+                                  ``{"adaptive": true}`` instead runs one
+                                  adaptive-controller evaluation cycle
 ========  ======================  =============================================
 
 Payloads travel as JSON values, so the service API handles any
@@ -229,6 +231,34 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
             if parts == ["repack"]:
                 body = self._read_json()
+                if body.get("adaptive"):
+                    # One synchronous controller evaluation: price the warm
+                    # decayed cost, and only plan/repack when the hysteresis
+                    # band and amortization gate both say it pays.  Plan
+                    # knobs from the body shape the solve the cycle may run.
+                    # A cycle decides for itself whether to apply — dry_run
+                    # would silently mean "maybe mutate anyway", so the
+                    # combination is rejected rather than half-honored (the
+                    # workload is likewise fixed: always the decayed view).
+                    if body.get("dry_run"):
+                        raise ReproError(
+                            "adaptive cycles decide their own application; "
+                            "combine 'dry_run' with a plain repack, or read "
+                            "the controller state from /stats"
+                        )
+                    options: dict[str, Any] = {}
+                    if "problem" in body:
+                        options["problem"] = int(body["problem"])
+                    if "hop_limit" in body:
+                        options["hop_limit"] = int(body["hop_limit"])
+                    for key in ("threshold", "threshold_factor"):
+                        if body.get(key) is not None:
+                            options[key] = float(body[key])
+                    if "algorithm" in body:
+                        options["algorithm"] = str(body["algorithm"])
+                    report = self.service.adaptive_repack_cycle(**options)
+                    self._send_json(200, report)
+                    return True
                 half_life = body.get("half_life")
                 report = self.service.repack(
                     problem=int(body.get("problem", 3)),

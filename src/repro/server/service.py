@@ -38,7 +38,16 @@ that process's core, independent of any transport:
 * an optional **auto-repack policy** (``repack_budget``): when the
   index-priced ``expected_recreation_cost`` per request drifts above the
   budget, a background repack is triggered automatically — the first step
-  toward a self-optimizing store.
+  toward a self-optimizing store;
+* a **warm cost model**: the same per-chain ``ChainStats`` that price
+  repacks are combined with the live cache contents, so
+  ``stats()['workload']['expected_recreation_cost']['warm']`` reports the
+  Σf·Φ each request will *actually* pay right now, and the serving
+  cache evicts by that marginal-cost metric instead of raw LRU;
+* an **adaptive repack controller** (``adaptive_repack=True``) replacing
+  the fixed budget: hysteresis band around a learned baseline, decayed
+  workload trend, and an amortization horizon — the store repacks itself
+  exactly when a repack pays for itself, and stands down otherwise.
 
 The HTTP transport lives in :mod:`repro.server.httpd`; this class is also
 usable directly in-process (the serving benchmark does exactly that).
@@ -57,7 +66,13 @@ from ..core.version import VersionID
 from ..exceptions import ReproError
 from ..storage.batch import BatchMaterializer, BatchResult
 from ..storage.concurrency import EpochCoordinator, StripedLockManager
-from ..storage.repack import OnlineRepacker, expected_workload_cost
+from ..storage.repack import (
+    AdaptiveRepackController,
+    OnlineRepacker,
+    estimate_repack_cost,
+    expected_workload_cost,
+    expected_workload_costs,
+)
 from ..storage.repository import Repository
 from ..storage.workload_log import WorkloadLog
 
@@ -198,6 +213,17 @@ class VersionStoreService:
     triggers a workload-aware repack on a background thread.  If even the
     fresh epoch cannot meet the budget, the policy stands down until the
     next commit changes the store.
+
+    ``adaptive_repack`` replaces that fixed budget with an
+    :class:`~repro.storage.repack.AdaptiveRepackController`: evaluations
+    (same ``auto_repack_interval`` cadence, on a background thread) price
+    the *warm decayed* expected cost — what requests actually pay given
+    the live cache, weighted toward recent traffic — against a baseline
+    the controller learns from its own repacks, with a hysteresis band
+    against thrash and an amortization gate (``repack_horizon`` requests)
+    against repacks that cost more than they save.  The two policies are
+    mutually exclusive.  :meth:`adaptive_repack_cycle` runs one evaluation
+    synchronously (the ``POST /repack {"adaptive": true}`` surface).
     """
 
     def __init__(
@@ -212,7 +238,13 @@ class VersionStoreService:
         lock_stripes: int = 64,
         repack_budget: float | None = None,
         auto_repack_interval: int = 32,
+        adaptive_repack: bool = False,
+        repack_horizon: float = 1000.0,
     ) -> None:
+        if adaptive_repack and repack_budget is not None:
+            raise ValueError(
+                "adaptive_repack replaces repack_budget; arm one policy, not both"
+            )
         self.repository = repository
         self.max_workers = (
             max(1, int(max_workers)) if max_workers else default_worker_count()
@@ -246,6 +278,17 @@ class VersionStoreService:
         # Auto-repack policy state (all guarded by _state_lock).
         self.repack_budget = repack_budget
         self.auto_repack_interval = max(1, int(auto_repack_interval))
+        self.repack_horizon = float(repack_horizon)
+        # _adaptive_armed gates the *background* policy: a controller
+        # created lazily by an operator's synchronous cycle must not start
+        # firing repacks from the request path (nor displace a configured
+        # fixed-budget policy) — only the constructor flag arms that.
+        self._adaptive_armed = bool(adaptive_repack)
+        self.controller = (
+            AdaptiveRepackController(horizon=self.repack_horizon)
+            if adaptive_repack
+            else None
+        )
         self._auto_last_check = 0
         self._auto_repack_running = False
         self._auto_repack_suppressed = False
@@ -288,6 +331,8 @@ class VersionStoreService:
                     # The store changed shape: give the auto-repack policy
                     # another shot even if the last epoch missed the budget.
                     self._auto_repack_suppressed = False
+                if self.controller is not None:
+                    self.controller.note_commit()
         return version_id
 
     # ------------------------------------------------------------------ #
@@ -430,8 +475,12 @@ class VersionStoreService:
         ``workload.expected_recreation_cost`` prices the logged workload
         against the *current* encoding straight from the store's cost index
         (no replay, no scan): the number an online repack is supposed to
-        shrink.  ``workload.decayed`` reports the same pricing under the
-        log's half-life-decayed frequencies — the drifting-workload view.
+        shrink.  Its ``warm`` sub-dict prices the same workload against the
+        live cache — what requests will *actually* pay right now.
+        ``workload.decayed`` reports both under the log's
+        half-life-decayed frequencies — the drifting-workload view the
+        adaptive controller triggers on; ``repack.controller`` exposes
+        that controller's state machine when armed.
         """
         with self.coordinator.shared():
             with self._state_lock:
@@ -455,21 +504,29 @@ class VersionStoreService:
             version_ids = self.repository.graph.version_ids
             workload = self.workload_log.snapshot()
             frequencies = self.workload_log.frequencies(version_ids)
-            workload["expected_recreation_cost"] = expected_workload_cost(
-                self.repository, frequencies or None
-            )
             decayed = self.workload_log.decayed_frequencies(version_ids)
+            # One pass prices both views: the per-version chain walk (and
+            # its warm probe) is frequency-independent, only the
+            # weighting differs.
+            priced = expected_workload_costs(
+                self.repository,
+                {"raw": frequencies or None, "decayed": decayed or None},
+                materializer=self.materializer,
+            )
+            workload["expected_recreation_cost"] = priced["raw"]
             workload["decayed"] = {
                 "half_life": self.workload_log.half_life,
-                "expected_recreation_cost": expected_workload_cost(
-                    self.repository, decayed or None
-                ),
+                "expected_recreation_cost": priced["decayed"],
             }
             repack = {
                 "epoch": self.repacker.epoch,
                 "budget": self.repack_budget,
+                "horizon": self.repack_horizon,
                 "auto_repacks": serving["auto_repacks"],
                 "auto_repack_error": auto_error,
+                "controller": (
+                    self.controller.snapshot() if self.controller is not None else None
+                ),
             }
             concurrency = {
                 "max_workers": self.max_workers,
@@ -536,6 +593,7 @@ class VersionStoreService:
         use_workload: bool = True,
         half_life: float | None = None,
         dry_run: bool = False,
+        gate: Callable[[dict[str, Any]], bool] | None = None,
     ) -> dict[str, Any]:
         """Re-optimize the storage plan against observed traffic, online.
 
@@ -563,7 +621,12 @@ class VersionStoreService:
            swap.
 
         ``dry_run`` stops after step 2 and reports what the repack *would*
-        do.  Returns a JSON-ready report either way.
+        do.  ``gate`` is judged at the same point with the planning report:
+        returning ``False`` abandons the repack before any staging write
+        (the adaptive controller's amortization gate plugs in here, so the
+        expensive plan is solved exactly once per decision).  Returns a
+        JSON-ready report either way; ``"applied"`` records whether the
+        store was actually re-encoded.
         """
         with self._write_gate:
             with self.coordinator.shared():
@@ -606,6 +669,11 @@ class VersionStoreService:
             }
             if dry_run:
                 report["epoch"] = self.repacker.epoch
+                report["applied"] = False
+                return report
+            if gate is not None and not gate(report):
+                report["epoch"] = self.repacker.epoch
+                report["applied"] = False
                 return report
 
             with self.repacker.lock:
@@ -633,6 +701,7 @@ class VersionStoreService:
             report.update(swap_report)
             report["epoch"] = self.repacker.epoch
             report["expected_cost_after"] = expected_after
+            report["applied"] = True
         return report
 
     def close(self, timeout: float = 60.0) -> bool:
@@ -666,20 +735,139 @@ class VersionStoreService:
         return quiesced
 
     # ------------------------------------------------------------------ #
+    # adaptive repack controller
+    # ------------------------------------------------------------------ #
+    def adaptive_repack_cycle(self, **plan_options: Any) -> dict[str, Any]:
+        """Run one adaptive-controller evaluation cycle, synchronously.
+
+        Prices the warm decayed expected cost, feeds it to the controller,
+        and — when the controller triggers — solves a workload-aware plan
+        whose application is gated on the amortization check, all on the
+        calling thread.  ``plan_options`` (``problem``, ``threshold``,
+        ``threshold_factor``, ``hop_limit``, ``algorithm``) are forwarded
+        to :meth:`repack` when a plan is solved.  This is the
+        deterministic surface behind ``POST /repack {"adaptive": true}``
+        and the convergence tests; the background policy runs exactly the
+        same cycle with default options.  A controller is created on first
+        use when the service was not started with ``adaptive_repack=True``,
+        so an operator can drive the policy manually against any running
+        server.
+        """
+        with self._state_lock:
+            if self.controller is None:
+                self.controller = AdaptiveRepackController(
+                    horizon=self.repack_horizon
+                )
+            if self._auto_repack_running:
+                return {
+                    "adaptive": True,
+                    "fired": False,
+                    "reason": "an auto repack is already running",
+                    "controller": self.controller.snapshot(),
+                }
+            self._auto_repack_running = True
+        try:
+            return self._adaptive_cycle(**plan_options)
+        finally:
+            with self._state_lock:
+                self._auto_repack_running = False
+
+    def _adaptive_cycle(self, **plan_options: Any) -> dict[str, Any]:
+        """One evaluate → (maybe plan) → (maybe repack) controller pass."""
+        controller = self.controller
+        assert controller is not None
+        with self.coordinator.shared():
+            if len(self.repository) == 0:
+                return {
+                    "adaptive": True,
+                    "fired": False,
+                    "reason": "empty repository",
+                    "controller": controller.snapshot(),
+                }
+            version_ids = self.repository.graph.version_ids
+            frequencies = self.workload_log.decayed_frequencies(version_ids)
+            priced = expected_workload_cost(
+                self.repository, frequencies or None, materializer=self.materializer
+            )
+            observations = self.workload_log.total_accesses
+        current = priced["warm"]["per_request"]
+        report: dict[str, Any] = {
+            "adaptive": True,
+            "fired": False,
+            "evaluated_cost_per_request": current,
+            "observations": observations,
+        }
+        if not controller.observe(
+            current, observations=observations, frequencies=frequencies
+        ):
+            report["reason"] = controller.last_reason
+            report["controller"] = controller.snapshot()
+            return report
+
+        weight = priced["weight"] or float(len(version_ids))
+
+        def gate(plan_report: dict[str, Any]) -> bool:
+            metrics = plan_report["plan_metrics"]
+            if plan_report["workload_aware"]:
+                projected = metrics["weighted_recreation"] / weight
+            else:
+                projected = metrics["sum_recreation"] / max(1, len(version_ids))
+            with self.coordinator.shared():
+                staging_cost = estimate_repack_cost(self.repository)
+            report["projected_cost_per_request"] = projected
+            report["staging_cost_estimate"] = staging_cost
+            return controller.approve(
+                current, projected, staging_cost, frequencies=frequencies
+            )
+
+        plan_report = self.repack(
+            use_workload=True,
+            half_life=self.workload_log.half_life,
+            gate=gate,
+            **plan_options,
+        )
+        fired = bool(plan_report.get("applied"))
+        if fired:
+            after = plan_report.get("expected_cost_after", {}).get(
+                "per_request", current
+            )
+            controller.note_repack(after, frequencies=frequencies)
+            with self._state_lock:
+                self.stats_counters.auto_repacks += 1
+        report["fired"] = fired
+        report["reason"] = controller.last_reason
+        report["repack"] = plan_report
+        report["controller"] = controller.snapshot()
+        return report
+
+    def _adaptive_repack_worker(self) -> None:
+        try:
+            self._adaptive_cycle()
+            with self._state_lock:
+                self._auto_repack_error = None
+        except Exception as error:  # pragma: no cover - defensive
+            with self._state_lock:
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
+        finally:
+            with self._state_lock:
+                self._auto_repack_running = False
+
+    # ------------------------------------------------------------------ #
     # auto-repack policy
     # ------------------------------------------------------------------ #
     def _maybe_auto_repack(self) -> None:
-        """Trigger a background repack when expected cost exceeds the budget.
+        """Trigger a background repack when the armed policy says so.
 
-        Called at the end of every served request, outside all locks.  The
-        check itself is cheap — the store's cost index prices the whole
-        logged workload with dictionary walks — and rate-limited to once
-        every ``auto_repack_interval`` requests.  A failing policy check
-        must never fail the request that triggered it (the checkout already
-        succeeded), so every error is swallowed into the stats instead of
-        raised.
+        Called at the end of every served request, outside all locks, and
+        rate-limited to once every ``auto_repack_interval`` requests.  With
+        a fixed ``repack_budget`` the check prices the logged workload from
+        the cost index inline; with the adaptive controller the whole
+        evaluation (it may solve a plan) runs on a background thread.  A
+        failing policy check must never fail the request that triggered it
+        (the checkout already succeeded), so every error is swallowed into
+        the stats instead of raised.
         """
-        if self.repack_budget is None:
+        if self.repack_budget is None and not self._adaptive_armed:
             return
         try:
             with self._state_lock:
@@ -689,6 +877,18 @@ class VersionStoreService:
                 self._auto_last_check = total
                 if self._auto_repack_running or self._auto_repack_suppressed:
                     return
+                if self._adaptive_armed:
+                    self._auto_repack_running = True
+        except Exception as error:  # pragma: no cover - defensive
+            with self._state_lock:
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            return
+        if self._adaptive_armed:
+            self._start_policy_worker(
+                self._adaptive_repack_worker, "repro-adaptive-repack"
+            )
+            return
+        try:
             with self.coordinator.shared():
                 if len(self.repository) == 0:
                     return
@@ -708,10 +908,18 @@ class VersionStoreService:
             with self._state_lock:
                 self._auto_repack_error = f"{type(error).__name__}: {error}"
             return
-        thread = threading.Thread(
-            target=self._auto_repack_worker, name="repro-auto-repack", daemon=True
-        )
-        thread.start()
+        self._start_policy_worker(self._auto_repack_worker, "repro-auto-repack")
+
+    def _start_policy_worker(self, target: Callable[[], None], name: str) -> None:
+        """Spawn a policy worker; a failed start must release the running
+        flag (set by the caller under the state lock) or the policy would
+        be wedged off for the rest of the process."""
+        try:
+            threading.Thread(target=target, name=name, daemon=True).start()
+        except Exception as error:  # pragma: no cover - resource exhaustion
+            with self._state_lock:
+                self._auto_repack_running = False
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
 
     def _auto_repack_worker(self) -> None:
         try:

@@ -33,14 +33,21 @@ from .backends import (
     open_backend,
     register_backend,
 )
-from .batch import BatchItem, BatchMaterializer, BatchResult
+from .batch import BatchItem, BatchMaterializer, BatchResult, WarmChainCost
 from .concurrency import EpochCoordinator, StripedLockManager
 from .materializer import LRUPayloadCache, MaterializationResult, Materializer
 from .objects import ChainStats, ObjectMeta, ObjectStore, StoredObject
 from .planner import apply_plan, plan_order
-from .repack import OnlineRepacker, StagedRepack, expected_workload_cost
+from .repack import (
+    AdaptiveRepackController,
+    OnlineRepacker,
+    StagedRepack,
+    estimate_repack_cost,
+    expected_workload_cost,
+    expected_workload_costs,
+)
 from .repository import CheckoutStats, Repository
-from .workload_log import WorkloadLog
+from .workload_log import WorkloadLog, frequency_drift
 
 __all__ = [
     "BackendSpecError",
@@ -54,6 +61,7 @@ __all__ = [
     "BatchItem",
     "BatchMaterializer",
     "BatchResult",
+    "WarmChainCost",
     "EpochCoordinator",
     "StripedLockManager",
     "LRUPayloadCache",
@@ -65,10 +73,14 @@ __all__ = [
     "StoredObject",
     "apply_plan",
     "plan_order",
+    "AdaptiveRepackController",
     "OnlineRepacker",
     "StagedRepack",
+    "estimate_repack_cost",
     "expected_workload_cost",
+    "expected_workload_costs",
     "CheckoutStats",
     "Repository",
     "WorkloadLog",
+    "frequency_drift",
 ]

@@ -54,7 +54,38 @@ from .concurrency import StripedLockManager
 from .materializer import LRUPayloadCache, replay_chain
 from .objects import ObjectStore, StoredObject
 
-__all__ = ["BatchMaterializer", "BatchItem", "BatchResult", "STRATEGIES"]
+__all__ = [
+    "BatchMaterializer",
+    "BatchItem",
+    "BatchResult",
+    "WarmChainCost",
+    "STRATEGIES",
+    "EVICTION_POLICIES",
+]
+
+
+@dataclass(frozen=True)
+class WarmChainCost:
+    """What a checkout of one chain tip would pay *right now*.
+
+    The cold model prices every request at its full Φ chain sum; a warm
+    serving process only replays the suffix below the deepest cached
+    ancestor.  ``phi`` / ``deltas`` are exactly the recreation cost and
+    delta applications :func:`~repro.storage.materializer.replay_chain`
+    would charge against the current cache contents; ``cached_depth`` is
+    the number of chain entries the cache covers (0 = fully cold, in which
+    case ``phi`` equals the cold Φ chain sum by construction).
+    """
+
+    phi: float
+    deltas: int
+    cached_depth: int
+    chain_length: int
+
+    @property
+    def cold(self) -> bool:
+        """True when no part of the chain is served by the cache."""
+        return self.cached_depth == 0
 
 
 @dataclass
@@ -131,6 +162,11 @@ class BatchResult:
 #: Scheduling strategies understood by :class:`BatchMaterializer`.
 STRATEGIES = ("dfs", "lru")
 
+#: Cache-eviction policies understood by :class:`BatchMaterializer`:
+#: ``"cost"`` ranks victims by marginal recreation cost (the warm cost
+#: model's metric), ``"lru"`` keeps plain recency order.
+EVICTION_POLICIES = ("cost", "lru")
+
 
 class BatchMaterializer:
     """Materializes many objects at once, replaying shared prefixes once.
@@ -159,18 +195,39 @@ class BatchMaterializer:
         strategy: str = "dfs",
         max_workers: int | None = None,
         lock_manager: StripedLockManager | None = None,
+        eviction: str = "cost",
     ) -> None:
         if strategy not in STRATEGIES:
             known = ", ".join(STRATEGIES)
             raise ValueError(f"unknown batch strategy {strategy!r} (known: {known})")
+        if eviction not in EVICTION_POLICIES:
+            known = ", ".join(EVICTION_POLICIES)
+            raise ValueError(f"unknown eviction policy {eviction!r} (known: {known})")
         self.store = store
         self.encoder = encoder
         self.strategy = strategy
-        self.cache = LRUPayloadCache(cache_size)
+        self.eviction = eviction
+        self.cache = LRUPayloadCache(
+            cache_size,
+            victim_cost=self._marginal_payload_cost if eviction == "cost" else None,
+        )
         self.max_workers = max(1, int(max_workers)) if max_workers else 1
         self.lock_manager = lock_manager
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
+
+    def _marginal_payload_cost(self, object_id: str) -> float | None:
+        """Marginal recreation cost of one cached payload (eviction rank).
+
+        What a request would re-pay if exactly ``object_id`` left the
+        cache: the Φ suffix from it down to its deepest *other* cached
+        ancestor, answered by the store's cost index without any backend
+        read.  Invoked by the cache while its lock is held — the store
+        never takes the cache lock, so the ordering stays acyclic.
+        """
+        return self.store.marginal_chain_cost(
+            object_id, lambda oid: oid != object_id and oid in self.cache
+        )
 
     def materialize_many(
         self, requests: Sequence[tuple[Hashable, str]] | Sequence[str]
@@ -294,6 +351,37 @@ class BatchMaterializer:
         and after a repack.
         """
         return self.store.chain_stats(object_id).phi_total
+
+    def warm_chain_cost(self, object_id: str) -> WarmChainCost:
+        """Price one chain against the *current* cache contents.
+
+        Performs exactly the probe :func:`replay_chain` opens with — scan
+        the chain tip-down for the deepest cached payload — and prices the
+        remaining suffix from the store's cost index (both the tip's and
+        the anchor's :class:`~repro.storage.objects.ChainStats` are
+        memoized by one walk, so repeat pricing is a pair of dictionary
+        lookups).  No payload is fetched or replayed, and the probe leaves
+        the cache's recency order and hit/miss counters untouched.  With
+        an empty cache this degrades to the cold Φ chain sum the storage
+        plan models.
+        """
+        chain_ids = self.store.chain_ids(object_id)
+        tip = self.store.chain_stats(object_id)
+        for index in range(len(chain_ids) - 1, -1, -1):
+            if chain_ids[index] in self.cache:
+                anchor = self.store.chain_stats(chain_ids[index])
+                return WarmChainCost(
+                    phi=tip.phi_total - anchor.phi_total,
+                    deltas=tip.num_deltas - anchor.num_deltas,
+                    cached_depth=index + 1,
+                    chain_length=tip.length,
+                )
+        return WarmChainCost(
+            phi=tip.phi_total,
+            deltas=tip.num_deltas,
+            cached_depth=0,
+            chain_length=tip.length,
+        )
 
     def clear_cache(self) -> None:
         """Drop every cached payload (start the next batch cold).

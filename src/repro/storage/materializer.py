@@ -33,6 +33,18 @@ class LRUPayloadCache:
     ``capacity <= 0`` disables the cache entirely (every lookup misses,
     every insert is dropped), which lets callers share one code path.
 
+    **Victim ranking.**  With ``victim_cost`` unset, eviction is plain
+    LRU (oldest entry out).  With it set, the cache ranks the
+    ``eviction_sample`` least-recently-used entries by their *marginal
+    recreation cost* — what a request would re-pay if exactly that entry
+    were evicted — and drops the cheapest one: payloads sitting deep on
+    otherwise-uncached chains are worth more than payloads one delta away
+    from a cached base, even when touched less recently.  ``victim_cost``
+    returning ``None`` marks an entry unpriceable (e.g. its chain left the
+    store's index after a repack) — those evict first.  The callback is
+    invoked while the cache lock is held; it may take other locks but must
+    never call back into this cache except through ``__contains__``.
+
     Every operation is atomic behind an internal lock: the batch engine's
     union-tree workers and concurrently served checkouts all read and warm
     one shared cache, so ``move_to_end``/eviction must never interleave
@@ -40,12 +52,21 @@ class LRUPayloadCache:
     immutable by every caller, exactly as before.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        victim_cost: Callable[[str], float | None] | None = None,
+        eviction_sample: int = 8,
+    ) -> None:
         self.capacity = int(capacity)
+        self.victim_cost = victim_cost
+        self.eviction_sample = max(1, int(eviction_sample))
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.cost_evictions = 0
 
     def get(self, key: str) -> Any:
         """The cached payload for ``key``, or the module-level miss sentinel."""
@@ -63,6 +84,61 @@ class LRUPayloadCache:
                 return
             self._entries[key] = payload
             self._entries.move_to_end(key)
+            if len(self._entries) <= self.capacity:
+                return
+            if self.victim_cost is None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                return
+        # Cost-ranked eviction prices candidates *outside* the lock: each
+        # victim_cost call walks chain metadata, and serializing every
+        # over-capacity put of all replay workers behind those walks would
+        # undo the per-chain parallelism the cache serves.
+        self._evict_by_cost()
+
+    def _evict_by_cost(self) -> None:
+        # Rank the oldest entries only, and never the most recent one: a
+        # just-replayed payload always looks cheap (its base is cached) but
+        # evicting it would defeat the warm repeat the cache exists for —
+        # recency stays the first filter, marginal cost breaks ties within
+        # the cold end.  The lock is held only to snapshot candidates and
+        # to delete the chosen victim (re-validated: it may have been
+        # touched or evicted by a peer while we priced); after a few
+        # contended rounds fall back to plain LRU rather than spin.
+        for _attempt in range(4):
+            with self._lock:
+                if len(self._entries) <= self.capacity:
+                    return
+                sample = min(self.eviction_sample, len(self._entries) - 1)
+                candidates: list[str] = []
+                for key in self._entries:  # insertion order = LRU order
+                    candidates.append(key)
+                    if len(candidates) >= sample:
+                        break
+            victim = candidates[0]
+            best: tuple[int, float, int] | None = None
+            for index, key in enumerate(candidates):
+                try:
+                    cost = self.victim_cost(key)  # type: ignore[misc]
+                except Exception:
+                    cost = None  # scoring must never break a put
+                # Unpriceable entries (dead-epoch leftovers) rank below
+                # every priced one; ties go to the least recently used.
+                rank = (0, 0.0, index) if cost is None else (1, float(cost), index)
+                if best is None or rank < best:
+                    best = rank
+                    victim = key
+            with self._lock:
+                if len(self._entries) <= self.capacity:
+                    return
+                mru = next(reversed(self._entries))
+                if victim in self._entries and victim != mru:
+                    if victim != next(iter(self._entries)):
+                        self.cost_evictions += 1
+                    del self._entries[victim]
+                    if len(self._entries) <= self.capacity:
+                        return
+        with self._lock:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 

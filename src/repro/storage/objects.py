@@ -37,7 +37,7 @@ import hashlib
 import pickle
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..delta.base import Delta, payload_size
 from ..exceptions import ObjectNotFoundError
@@ -394,6 +394,49 @@ class ObjectStore:
         """Root full object of ``object_id``'s chain (the lock-striping key)."""
         return self.chain_stats(object_id).root_id
 
+    def meta(self, object_id: str) -> ObjectMeta | None:
+        """The index entry of ``object_id``, or ``None`` when never seen.
+
+        A pure dictionary lookup — never reads the backend.  ``None`` does
+        *not* mean the object is absent from the store, only that no write
+        or read has indexed it yet.
+        """
+        with self._index_lock:
+            return self._meta.get(object_id)
+
+    def marginal_chain_cost(
+        self, object_id: str, cached: Callable[[str], bool]
+    ) -> float | None:
+        """Φ cost of rebuilding ``object_id`` given ``cached`` ancestors.
+
+        Walks the base links of the index only (no backend read): the sum
+        of Φ contributions from ``object_id`` down to — exclusive — its
+        deepest ancestor for which ``cached`` returns true (or the chain
+        root when none is).  This is the *marginal* recreation cost of one
+        cache entry: what a request would re-pay if exactly this payload
+        were evicted while the rest of the cache stayed put — the metric
+        the warm cost model prices requests with and the cost-aware cache
+        ranks eviction victims by.  Returns ``None`` when some link is not
+        indexed yet (callers fall back to plain LRU ordering).
+
+        ``cached`` may take its own lock; the index lock is never held
+        across the callback, so a cache holding its lock while scoring
+        victims cannot deadlock against index writers.
+        """
+        cost = 0.0
+        current: str | None = object_id
+        seen: set[str] = set()
+        while current is not None:
+            meta = self.meta(current)
+            if meta is None or current in seen:
+                return None
+            seen.add(current)
+            cost += meta.phi
+            current = meta.base_id
+            if current is not None and cached(current):
+                break
+        return cost
+
     def cached_chain_root(self, object_id: str) -> str | None:
         """``object_id``'s chain root in O(1) from the stats memo, or ``None``.
 
@@ -433,7 +476,19 @@ class ObjectStore:
         return hashlib.sha256(data).hexdigest()
 
     def _store(self, obj: StoredObject) -> None:
-        self.backend.put(obj.object_id, obj)
+        try:
+            self.backend.put(obj.object_id, obj)
+        except BaseException:
+            # A put that died mid-write may have left a torn value under
+            # the key (backends without write-then-rename semantics).  A
+            # content-addressed key must either hold the complete object or
+            # nothing: scrub it so a failed write can never be served later
+            # as a corrupt payload, and never index what was not stored.
+            try:
+                self.backend.delete(obj.object_id)
+            except Exception:
+                pass  # the original failure is the one worth raising
+            raise
         self._note(obj)
 
     def _note(self, obj: StoredObject) -> None:

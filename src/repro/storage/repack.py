@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.instance import ROOT
 from ..core.problems import SolveResult, default_threshold, solve
@@ -45,8 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "OnlineRepacker",
     "StagedRepack",
+    "AdaptiveRepackController",
     "plan_order",
     "expected_workload_cost",
+    "expected_workload_costs",
+    "estimate_repack_cost",
 ]
 
 
@@ -74,8 +77,10 @@ def plan_order(plan: StoragePlan) -> list[VersionID]:
 def expected_workload_cost(
     repository: "Repository",
     frequencies: Mapping[VersionID, float] | None = None,
-) -> dict[str, float]:
-    """Expected recreation cost of serving ``frequencies`` cache-cold.
+    *,
+    materializer: BatchMaterializer | None = None,
+) -> dict[str, Any]:
+    """Expected recreation cost of serving ``frequencies``.
 
     Each version's cost is the Φ chain sum of its *current* encoding —
     answered by the object store's incremental cost index (maintained at
@@ -85,22 +90,409 @@ def expected_workload_cost(
     the weighted ``total``, the ``per_request`` mean, and the total
     ``weight`` — the quantity an online repack is supposed to shrink,
     measurable before and after without replaying a single request.
+
+    With ``materializer`` the result additionally carries a ``"warm"``
+    sub-dict pricing the same workload against that materializer's *live
+    cache*: ``total`` / ``per_request`` are the Σf·Φ each request will
+    *actually* pay given what is currently cached (the suffix below the
+    deepest cached ancestor, per chain), and ``deltas_per_request`` the
+    delta applications it will perform.  With an empty cache the warm
+    numbers equal the cold ones by construction.
+    """
+    return expected_workload_costs(
+        repository, {"_": frequencies}, materializer=materializer
+    )["_"]
+
+
+def expected_workload_costs(
+    repository: "Repository",
+    vectors: Mapping[str, Mapping[VersionID, float] | None],
+    *,
+    materializer: BatchMaterializer | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Price several frequency vectors in one pass over the versions.
+
+    The per-version chain cost (and, with ``materializer``, its
+    frequency-independent warm cost) is computed once and weighted under
+    every vector — the serving stats price the raw and the decayed views
+    of one workload without walking each chain twice.  ``None`` as a
+    vector means the uniform workload, exactly like
+    :func:`expected_workload_cost`.
     """
     store = repository.store
-    total = 0.0
-    weight = 0.0
-    for vid in repository.graph.version_ids:
-        freq = 1.0 if frequencies is None else float(frequencies.get(vid, 0.0))
-        if freq <= 0.0:
-            continue
-        cost = store.chain_stats(repository.object_id_of(vid)).phi_total
-        total += freq * cost
-        weight += freq
-    return {
-        "total": total,
-        "per_request": total / weight if weight > 0 else 0.0,
-        "weight": weight,
+    accumulators = {
+        name: {"total": 0.0, "weight": 0.0, "warm_total": 0.0, "warm_deltas": 0.0}
+        for name in vectors
     }
+    for vid in repository.graph.version_ids:
+        object_id: str | None = None
+        cost = 0.0
+        warm = None
+        for name, frequencies in vectors.items():
+            freq = 1.0 if frequencies is None else float(frequencies.get(vid, 0.0))
+            if freq <= 0.0:
+                continue
+            if object_id is None:
+                object_id = repository.object_id_of(vid)
+                cost = store.chain_stats(object_id).phi_total
+                if materializer is not None:
+                    warm = materializer.warm_chain_cost(object_id)
+            accumulator = accumulators[name]
+            accumulator["total"] += freq * cost
+            accumulator["weight"] += freq
+            if warm is not None:
+                accumulator["warm_total"] += freq * warm.phi
+                accumulator["warm_deltas"] += freq * warm.deltas
+    priced: dict[str, dict[str, Any]] = {}
+    for name, accumulator in accumulators.items():
+        weight = accumulator["weight"]
+        entry: dict[str, Any] = {
+            "total": accumulator["total"],
+            "per_request": accumulator["total"] / weight if weight > 0 else 0.0,
+            "weight": weight,
+        }
+        if materializer is not None:
+            entry["warm"] = {
+                "total": accumulator["warm_total"],
+                "per_request": (
+                    accumulator["warm_total"] / weight if weight > 0 else 0.0
+                ),
+                "deltas_per_request": (
+                    accumulator["warm_deltas"] / weight if weight > 0 else 0.0
+                ),
+            }
+        priced[name] = entry
+    return priced
+
+
+def estimate_repack_cost(repository: "Repository") -> float:
+    """Index-priced estimate of what one repack's staging phase costs.
+
+    Phase 1 streams every version's payload out of the old encoding
+    exactly once (the bounded cache amortizes shared prefixes), so the
+    dominant recreation work is one Φ contribution per *distinct* live
+    object.  Summing those from the cost index gives the number the
+    adaptive controller amortizes against — a dictionary walk, no payload
+    access, safe under shared access.
+    """
+    store = repository.store
+    seen: set[str] = set()
+    total = 0.0
+    for vid in repository.graph.version_ids:
+        for object_id in store.chain_ids(repository.object_id_of(vid)):
+            if object_id in seen:
+                continue
+            seen.add(object_id)
+            meta = store.meta(object_id)
+            if meta is not None:
+                total += meta.phi
+    return total
+
+
+class AdaptiveRepackController:
+    """Decides *when* an online repack is worth firing — and when it isn't.
+
+    The fixed-budget policy repacks whenever expected cost exceeds a
+    number the operator guessed up front.  This controller tunes itself to
+    traffic instead, judging the *warm decayed* expected cost per request
+    (what requests actually pay given the live cache, weighted toward
+    recent traffic) against a baseline it learns:
+
+    * **warming** — too little observed traffic to judge; hold.
+    * **steady** — cost sits at or below the hysteresis band around
+      ``baseline`` (the cost measured right after the last repack, or the
+      plan-projected cost of the first calibration).  Nothing to do.
+    * **triggered** — cost crossed ``trigger_factor × baseline`` (or the
+      controller is uncalibrated): a plan evaluation is due.  The caller
+      solves a plan and brings it back through :meth:`approve`, which
+      applies the **amortization gate**: the estimated staging cost must
+      be recouped within ``horizon`` requests out of the per-request gain,
+      or the repack does not fire.
+    * **stand-down** — a triggered evaluation found the repack not worth
+      it (no gain, or the horizon not met).  The controller holds there —
+      no repeated futile solves — until a commit changes the store, the
+      cost drifts another ``trigger_factor`` above the stood-down level,
+      or the decayed workload *distribution* drifts more than
+      ``drift_threshold`` from the one it was judged under
+      (:func:`~repro.storage.workload_log.frequency_drift`).
+
+    The drift signal also fires from *steady*: the baseline was measured
+    under one workload shape (recorded at repack/calibration time), and
+    once the live decayed distribution no longer resembles it — and cost
+    has left the comfortable side of the band — the baseline is stale and
+    a re-plan is due even though cost never crossed the trigger line.
+
+    Re-arming out of the band needs cost to fall below
+    ``standdown_factor × baseline``; between the two thresholds the state
+    holds — that band is what prevents repack thrash when cost oscillates
+    around a single threshold.  All methods are thread-safe; the
+    controller itself never touches the repository — callers feed it
+    numbers and act on its verdicts, which keeps every transition unit
+    testable without a store.
+    """
+
+    def __init__(
+        self,
+        *,
+        horizon: float = 1000.0,
+        trigger_factor: float = 1.5,
+        standdown_factor: float = 1.15,
+        drift_threshold: float = 0.35,
+        min_observations: int = 16,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive (requests)")
+        if trigger_factor <= standdown_factor:
+            raise ValueError(
+                "trigger_factor must exceed standdown_factor "
+                "(the hysteresis band would be empty or inverted)"
+            )
+        if standdown_factor < 1.0:
+            raise ValueError("standdown_factor must be >= 1.0")
+        self.horizon = float(horizon)
+        self.trigger_factor = float(trigger_factor)
+        self.standdown_factor = float(standdown_factor)
+        self.drift_threshold = float(drift_threshold)
+        self.min_observations = int(min_observations)
+        self._lock = threading.Lock()
+        self.state = "warming"
+        self.baseline: float | None = None
+        self.last_cost: float | None = None
+        self.last_reason = "no evaluation yet"
+        self.evaluations = 0
+        self.repacks_fired = 0
+        self._standdown_cost: float | None = None
+        self._standdown_frequencies: dict[VersionID, float] | None = None
+        # The decayed workload shape the current baseline was judged
+        # under; the steady-state drift trigger compares against it.
+        self._reference_frequencies: dict[VersionID, float] | None = None
+
+    # ------------------------------------------------------------------ #
+    # the evaluation loop
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        cost_per_request: float,
+        *,
+        observations: int,
+        frequencies: Mapping[VersionID, float] | None = None,
+    ) -> bool:
+        """Fold one evaluation of the warm decayed cost; True = plan now.
+
+        ``observations`` is the total access count behind the number (the
+        workload log's clock); ``frequencies`` the decayed vector it was
+        priced under, used for drift detection against a stood-down state.
+        """
+        from .workload_log import frequency_drift
+
+        cost = float(cost_per_request)
+        with self._lock:
+            self.evaluations += 1
+            self.last_cost = cost
+            if observations < self.min_observations:
+                self.state = "warming"
+                self.last_reason = (
+                    f"warming: {observations} accesses observed, "
+                    f"need {self.min_observations}"
+                )
+                return False
+            if self.baseline is None:
+                self.state = "triggered"
+                self.last_reason = "uncalibrated: planning to learn the baseline"
+                return True
+            trigger_at = self.trigger_factor * self.baseline
+            standdown_at = self.standdown_factor * self.baseline
+            if self.state == "stand-down":
+                assert self._standdown_cost is not None
+                drift = frequency_drift(
+                    frequencies or {}, self._standdown_frequencies or {}
+                )
+                if cost > self.trigger_factor * self._standdown_cost:
+                    self.state = "triggered"
+                    self.last_reason = (
+                        f"re-triggered: cost {cost:.1f} grew past "
+                        f"{self.trigger_factor:.2f}x the stood-down "
+                        f"{self._standdown_cost:.1f}"
+                    )
+                    return True
+                if drift > self.drift_threshold:
+                    self.state = "triggered"
+                    self.last_reason = (
+                        f"re-triggered: workload drifted {drift:.2f} "
+                        f"(> {self.drift_threshold:.2f}) since standing down"
+                    )
+                    return True
+                if cost < standdown_at:
+                    self.state = "steady"
+                    self.last_reason = (
+                        f"recovered: cost {cost:.1f} fell below the band "
+                        f"({standdown_at:.1f})"
+                    )
+                    return False
+                self.last_reason = (
+                    f"standing down: cost {cost:.1f} unchanged since the "
+                    "last unprofitable evaluation"
+                )
+                return False
+            if cost > trigger_at:
+                self.state = "triggered"
+                self.last_reason = (
+                    f"triggered: cost {cost:.1f} > "
+                    f"{self.trigger_factor:.2f}x baseline {self.baseline:.1f}"
+                )
+                return True
+            if cost > standdown_at and self._reference_frequencies is not None:
+                drift = frequency_drift(
+                    frequencies or {}, self._reference_frequencies
+                )
+                if drift > self.drift_threshold:
+                    self.state = "triggered"
+                    self.last_reason = (
+                        f"triggered: workload drifted {drift:.2f} "
+                        f"(> {self.drift_threshold:.2f}) from the baseline's "
+                        f"shape and cost {cost:.1f} left the band"
+                    )
+                    return True
+            if cost < standdown_at:
+                self.state = "steady"
+                self.last_reason = (
+                    f"steady: cost {cost:.1f} within "
+                    f"{self.standdown_factor:.2f}x baseline {self.baseline:.1f}"
+                )
+            else:
+                # Inside the hysteresis band: hold whatever state we were
+                # in rather than flapping on a single threshold.
+                self.last_reason = (
+                    f"holding ({self.state}): cost {cost:.1f} inside the "
+                    f"band [{standdown_at:.1f}, {trigger_at:.1f}]"
+                )
+            return self.state == "triggered"
+
+    def approve(
+        self,
+        current_cost: float,
+        projected_cost: float,
+        repack_cost: float,
+        *,
+        frequencies: Mapping[VersionID, float] | None = None,
+    ) -> bool:
+        """The amortization gate, judged after a plan has been solved.
+
+        ``current_cost`` is the warm per-request cost being paid now,
+        ``projected_cost`` the plan's expected per-request cost, and
+        ``repack_cost`` the estimated one-off staging cost
+        (:func:`estimate_repack_cost`).  The repack fires only when the
+        per-request gain recoups that cost within ``horizon`` requests;
+        otherwise the controller stands down, remembering the cost level
+        and workload shape it judged.
+        """
+        with self._lock:
+            gain = float(current_cost) - float(projected_cost)
+            if gain <= 0.0:
+                self._stand_down_locked(
+                    current_cost,
+                    projected_cost,
+                    frequencies,
+                    reason=(
+                        f"stand-down: plan projects {projected_cost:.1f}/request, "
+                        f"no improvement over the current {current_cost:.1f}"
+                    ),
+                )
+                return False
+            if gain * self.horizon < float(repack_cost):
+                self._stand_down_locked(
+                    current_cost,
+                    projected_cost,
+                    frequencies,
+                    reason=(
+                        f"stand-down: staging cost {repack_cost:.1f} not recouped "
+                        f"within {self.horizon:.0f} requests at "
+                        f"{gain:.1f}/request gain"
+                    ),
+                )
+                return False
+            self.last_reason = (
+                f"approved: {gain:.1f}/request gain recoups staging cost "
+                f"{repack_cost:.1f} within {repack_cost / gain:.0f} requests"
+            )
+            return True
+
+    def _stand_down_locked(
+        self,
+        current_cost: float,
+        projected_cost: float,
+        frequencies: Mapping[VersionID, float] | None,
+        *,
+        reason: str,
+    ) -> None:
+        self.state = "stand-down"
+        self._standdown_cost = float(current_cost)
+        self._standdown_frequencies = dict(frequencies or {})
+        if self.baseline is None:
+            # Calibrated without firing: the plan told us what is
+            # achievable, which is all the hysteresis band needs.
+            self.baseline = max(float(projected_cost), 1e-9)
+            self._reference_frequencies = dict(frequencies or {})
+        self.last_reason = reason
+
+    # ------------------------------------------------------------------ #
+    # external events
+    # ------------------------------------------------------------------ #
+    def note_repack(
+        self,
+        post_cost_per_request: float,
+        *,
+        frequencies: Mapping[VersionID, float] | None = None,
+    ) -> None:
+        """A repack completed; its measured outcome is the new baseline.
+
+        ``frequencies`` is the decayed vector the repack was planned
+        against — the workload shape the new baseline is valid for, which
+        the steady-state drift trigger compares future traffic to.
+        """
+        with self._lock:
+            self.repacks_fired += 1
+            self.baseline = max(float(post_cost_per_request), 1e-9)
+            self.state = "steady"
+            self._standdown_cost = None
+            self._standdown_frequencies = None
+            self._reference_frequencies = dict(frequencies or {})
+            self.last_reason = (
+                f"repacked: new baseline {self.baseline:.1f}/request"
+            )
+
+    def note_commit(self) -> None:
+        """The store changed shape; a stood-down verdict is stale."""
+        with self._lock:
+            if self.state == "stand-down":
+                self.state = "steady"
+                self._standdown_cost = None
+                self._standdown_frequencies = None
+                self.last_reason = "re-armed: a commit changed the store"
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready controller state for the service's ``stats``."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "baseline_per_request": self.baseline,
+                "last_cost_per_request": self.last_cost,
+                "trigger_factor": self.trigger_factor,
+                "standdown_factor": self.standdown_factor,
+                "drift_threshold": self.drift_threshold,
+                "horizon": self.horizon,
+                "min_observations": self.min_observations,
+                "evaluations": self.evaluations,
+                "repacks_fired": self.repacks_fired,
+                "standdown_cost": self._standdown_cost,
+                "last_reason": self.last_reason,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AdaptiveRepackController state={self.state!r} "
+            f"baseline={self.baseline} repacks={self.repacks_fired}>"
+        )
 
 
 @dataclass

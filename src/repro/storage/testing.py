@@ -1,0 +1,138 @@
+"""Fault-injection helpers for exercising storage failure paths.
+
+Real storage fails: disks fill up, processes die mid-write, NFS flakes.
+The recovery guarantees this package makes — an aborted repack staging
+leaks nothing, a torn object is scrubbed rather than served, a crashed
+append loses at most one workload-log line — are only guarantees if they
+are *tested*, which needs failures that arrive deterministically at a
+chosen operation.  :class:`FlakyBackend` provides exactly that: it wraps
+any :class:`~repro.storage.backends.StorageBackend` and injects
+configurable :class:`IOError`\\ s (optionally after a simulated partial
+write) on the N-th put or get.
+
+This module lives in the package rather than the test tree because fault
+injection is useful beyond unit tests — soak scripts and the CI
+fault-injection job drive the same wrapper — and because it must track
+the backend interface it wraps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Sequence
+
+from .backends import StorageBackend
+
+__all__ = ["FlakyBackend", "TornValue", "InjectedFault"]
+
+
+class InjectedFault(IOError):
+    """The error :class:`FlakyBackend` raises when a fault triggers."""
+
+
+class TornValue:
+    """A stand-in for a partially-written object.
+
+    When :class:`FlakyBackend` fails a put with ``partial_write=True`` it
+    first stores one of these under the key — the moral equivalent of the
+    truncated file a crash mid-write leaves behind.  Any code that ends up
+    *serving* a :class:`TornValue` has a torn-write recovery bug.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TornValue key={self.key!r}>"
+
+
+class FlakyBackend(StorageBackend):
+    """Wraps a backend and injects deterministic failures.
+
+    ``fail_puts_after=N`` lets the next ``N`` puts succeed and raises
+    :class:`InjectedFault` on every put after them; ``fail_gets_after``
+    does the same for gets (``get_many`` counts as one get).  With
+    ``partial_write=True`` a failing put first stores a
+    :class:`TornValue` under the key before raising — simulating a crash
+    that left a truncated object behind.  :meth:`heal` disarms everything;
+    ``puts``/``gets`` count *successful* operations (they pause while a
+    fault is firing) and ``injected`` counts the failures, surviving
+    arm/heal cycles so tests can assert exactly where a failure landed.
+    All bookkeeping is thread-safe, so the wrapper can sit under a serving
+    stack exercising concurrent requests.
+    """
+
+    scheme = "flaky"
+
+    def __init__(
+        self,
+        child: StorageBackend,
+        *,
+        fail_puts_after: int | None = None,
+        fail_gets_after: int | None = None,
+        partial_write: bool = False,
+    ) -> None:
+        self.child = child
+        self.fail_puts_after = fail_puts_after
+        self.fail_gets_after = fail_gets_after
+        self.partial_write = partial_write
+        self.puts = 0
+        self.gets = 0
+        self.injected = 0
+        self._lock = threading.Lock()
+
+    # -- fault control --------------------------------------------------- #
+    def heal(self) -> None:
+        """Disarm every configured fault (counters keep their values)."""
+        with self._lock:
+            self.fail_puts_after = None
+            self.fail_gets_after = None
+
+    def _should_fail_put(self) -> bool:
+        with self._lock:
+            if self.fail_puts_after is not None and self.puts >= self.fail_puts_after:
+                self.injected += 1
+                return True
+            self.puts += 1
+            return False
+
+    def _should_fail_get(self) -> bool:
+        with self._lock:
+            if self.fail_gets_after is not None and self.gets >= self.fail_gets_after:
+                self.injected += 1
+                return True
+            self.gets += 1
+            return False
+
+    # -- StorageBackend --------------------------------------------------- #
+    def put(self, key: str, value: Any) -> None:
+        if self._should_fail_put():
+            if self.partial_write:
+                self.child.put(key, TornValue(key))
+            raise InjectedFault(f"injected put failure for {key!r}")
+        self.child.put(key, value)
+
+    def get(self, key: str) -> Any:
+        if self._should_fail_get():
+            raise InjectedFault(f"injected get failure for {key!r}")
+        return self.child.get(key)
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Any]:
+        if self._should_fail_get():
+            raise InjectedFault(f"injected get_many failure for {len(keys)} keys")
+        return self.child.get_many(keys)
+
+    def delete(self, key: str) -> None:
+        self.child.delete(key)
+
+    def keys(self) -> Iterator[str]:
+        return self.child.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.child
+
+    def __len__(self) -> int:
+        return len(self.child)
+
+    def spec(self) -> str:
+        return f"{self.scheme}+{self.child.spec()}"

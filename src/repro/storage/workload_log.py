@@ -46,11 +46,11 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.version import VersionID
 
-__all__ = ["WorkloadLog", "DEFAULT_HALF_LIFE"]
+__all__ = ["WorkloadLog", "DEFAULT_HALF_LIFE", "frequency_drift"]
 
 #: Compact once the file holds this many times more lines than distinct
 #: versions (and at least ``_COMPACT_MIN_LINES`` lines overall).
@@ -68,6 +68,34 @@ def _decay(weight: float, elapsed: float, half_life: float) -> float:
     and file replay must all age weights identically or the views drift.
     """
     return weight * 0.5 ** (elapsed / half_life)
+
+
+def frequency_drift(
+    current: Mapping[VersionID, float], reference: Mapping[VersionID, float]
+) -> float:
+    """How far two access-frequency vectors have drifted apart, in [0, 1].
+
+    Both vectors are normalized to probability distributions and compared
+    by total variation distance (half the L1 distance): 0 means identical
+    popularity *shape* regardless of volume, 1 means disjoint hot sets.
+    This is the trend signal the adaptive repack controller re-arms on —
+    a stood-down "not worth repacking" verdict was judged against one
+    workload shape and expires when the live decayed view no longer
+    resembles it.  An empty vector against a non-empty one is maximal
+    drift; two empty vectors are identical.
+    """
+    current_total = sum(weight for weight in current.values() if weight > 0)
+    reference_total = sum(weight for weight in reference.values() if weight > 0)
+    if current_total <= 0 and reference_total <= 0:
+        return 0.0
+    if current_total <= 0 or reference_total <= 0:
+        return 1.0
+    distance = 0.0
+    for vid in set(current) | set(reference):
+        share_now = max(current.get(vid, 0.0), 0.0) / current_total
+        share_ref = max(reference.get(vid, 0.0), 0.0) / reference_total
+        distance += abs(share_now - share_ref)
+    return distance / 2.0
 
 
 class WorkloadLog:

@@ -19,6 +19,8 @@ without relying on relative imports into a conftest.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datagen import bootstrap_forks, densely_connected, linear_chain
@@ -28,6 +30,45 @@ from tests.helpers import (
     build_figure1_instance,
     build_random_instance,
 )
+
+
+@pytest.fixture
+def stress_seed(request):
+    """Deterministic seed for randomized stress tests, surfaced on failure.
+
+    Parametrize indirectly (``@pytest.mark.parametrize("stress_seed",
+    [7, 19], indirect=True)``) or override via ``REPRO_STRESS_SEED`` to
+    replay a specific run.  The seed is attached to the test's
+    ``user_properties``, and the ``pytest_runtest_makereport`` hook below
+    prints it in the failure report so any red run names the exact seed
+    that reproduces it.
+    """
+    env_override = os.environ.get("REPRO_STRESS_SEED")
+    if env_override is not None:
+        seed = int(env_override)
+    elif hasattr(request, "param"):
+        seed = int(request.param)
+    else:
+        seed = 1729
+    request.node.user_properties.append(("stress_seed", seed))
+    return seed
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Append the stress seed to failure reports (deterministic replay)."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = dict(item.user_properties).get("stress_seed")
+        if seed is not None:
+            report.sections.append(
+                (
+                    "stress seed",
+                    f"re-run with REPRO_STRESS_SEED={seed} to reproduce this "
+                    "exact schedule",
+                )
+            )
 
 
 @pytest.fixture

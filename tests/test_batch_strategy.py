@@ -70,13 +70,18 @@ class TestDFSGuarantee:
     @pytest.mark.parametrize("cache_size", [1, 2])
     def test_lru_fallback_degrades_with_tiny_cache(self, cache_size):
         """With a tiny cache the LRU scheduler replays prefixes repeatedly —
-        the gap the union-tree DFS was built to close."""
+        the gap the union-tree DFS was built to close.  Both engines pin
+        plain-recency eviction: the comparison isolates the *scheduler*,
+        and cost-aware eviction would (correctly) shrink the gap by keeping
+        expensive prefix nodes cached."""
         repo, vids = build_tree_repo()
         dfs = BatchMaterializer(
-            repo.store, repo.encoder, cache_size=cache_size, strategy="dfs"
+            repo.store, repo.encoder, cache_size=cache_size, strategy="dfs",
+            eviction="lru",
         )
         lru = BatchMaterializer(
-            repo.store, repo.encoder, cache_size=cache_size, strategy="lru"
+            repo.store, repo.encoder, cache_size=cache_size, strategy="lru",
+            eviction="lru",
         )
         requests = [(vid, repo.object_id_of(vid)) for vid in vids]
         dfs_result = dfs.materialize_many(requests)

@@ -1,0 +1,196 @@
+"""Randomized interleaving oracle: the service vs a naive in-memory store.
+
+A seeded thread pool issues a mixed schedule of commit / checkout /
+checkout_many / repack operations against one
+:class:`~repro.server.service.VersionStoreService` while a trivial oracle
+(a locked dict of version → payload, appended on commit acknowledgement)
+tracks what every version must contain.  Every checkout's payload is
+byte-compared against the oracle — across cache hits, coalesced requests,
+union-tree batches, commits interleaving with reads, and epoch swaps from
+concurrent repacks.  Schedules are deterministic per seed; a failure
+prints the exact seed to replay (``stress_seed`` fixture in conftest).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.server.service import VersionStoreService
+from repro.storage.repository import Repository
+
+
+class Oracle:
+    """The naive store: version id → exact expected payload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._payloads: dict[str, list[str]] = {}
+        self._known: list[str] = []
+
+    def record(self, vid: str, payload: list[str]) -> None:
+        with self._lock:
+            self._payloads[vid] = list(payload)
+            self._known.append(vid)
+
+    def expected(self, vid: str) -> list[str]:
+        with self._lock:
+            return self._payloads[vid]
+
+    def sample(self, rng: random.Random, count: int = 1) -> list[str]:
+        with self._lock:
+            if not self._known:
+                return []
+            return [self._known[rng.randrange(len(self._known))] for _ in range(count)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._known)
+
+
+def _mutate(rng: random.Random, payload: list[str], worker: int, step: int) -> list[str]:
+    mutated = list(payload)
+    if mutated and rng.random() < 0.5:
+        mutated[rng.randrange(len(mutated))] = f"edited,w{worker},s{step}"
+    mutated.append(f"appended,w{worker},s{step},{rng.randrange(1000)}")
+    return mutated
+
+
+def run_interleaving(
+    seed: int,
+    *,
+    num_workers: int = 4,
+    ops_per_worker: int = 30,
+    cache_size: int = 8,
+) -> tuple[int, int]:
+    """Run one seeded schedule; returns (checkouts_compared, repacks)."""
+    repo = Repository(cache_size=0)
+    service = VersionStoreService(
+        repo, cache_size=cache_size, lock_stripes=8, max_workers=2
+    )
+    oracle = Oracle()
+    # Disjoint seed lineages so independent chains actually exist.
+    for chain in range(num_workers):
+        payload = [f"chain-{chain},row-{row}" for row in range(12)]
+        vid = service.commit(payload, parents=[], message=f"seed {chain}")
+        oracle.record(vid, payload)
+
+    errors: list[BaseException] = []
+    mismatches: list[tuple[str, int]] = []
+    repacks_done = [0]
+    barrier = threading.Barrier(num_workers, timeout=30)
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(seed * 1000 + worker_id)
+        barrier.wait()
+        try:
+            for step in range(ops_per_worker):
+                roll = rng.random()
+                if roll < 0.15:  # commit
+                    (parent,) = oracle.sample(rng) or [None]
+                    if parent is None:
+                        continue
+                    payload = _mutate(rng, oracle.expected(parent), worker_id, step)
+                    vid = service.commit(
+                        payload, parents=[parent], message=f"w{worker_id} s{step}"
+                    )
+                    oracle.record(vid, payload)
+                elif roll < 0.20 and worker_id == 0:  # repack (one operator)
+                    service.repack(use_workload=True, threshold_factor=2.5)
+                    repacks_done[0] += 1
+                elif roll < 0.45:  # batched checkout
+                    vids = oracle.sample(rng, count=1 + rng.randrange(4))
+                    result = service.checkout_many(vids)
+                    for vid in set(vids):
+                        if result.items[vid].payload != oracle.expected(vid):
+                            mismatches.append((vid, worker_id))
+                else:  # single checkout
+                    (vid,) = oracle.sample(rng) or [None]
+                    if vid is None:
+                        continue
+                    if service.checkout(vid).payload != oracle.expected(vid):
+                        mismatches.append((vid, worker_id))
+        except BaseException as error:
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,), name=f"oracle-{worker_id}")
+        for worker_id in range(num_workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    service.close()
+
+    assert not errors, f"seed={seed}: worker raised {errors[0]!r}"
+    assert not mismatches, (
+        f"seed={seed}: {len(mismatches)} checkout(s) diverged from the "
+        f"oracle, first at {mismatches[0]}"
+    )
+    # Final sweep: after all interleaving (and any epoch swaps), every
+    # version the oracle knows must still read back byte-identically.
+    with oracle._lock:
+        known = list(oracle._known)
+    for vid in known:
+        assert service.checkout(vid).payload == oracle.expected(vid), (
+            f"seed={seed}: post-run divergence at {vid}"
+        )
+    total = len(known)
+    assert total >= num_workers  # the schedule actually committed
+    return total, repacks_done[0]
+
+
+@pytest.mark.parametrize("stress_seed", [7, 19], indirect=True)
+def test_interleaved_operations_match_oracle(stress_seed):
+    run_interleaving(stress_seed)
+
+
+def test_oracle_catches_interleaving_with_forced_repacks(stress_seed):
+    """Every worker's traffic crosses at least one epoch swap."""
+    repo = Repository(cache_size=0)
+    service = VersionStoreService(repo, cache_size=4, lock_stripes=4)
+    oracle = Oracle()
+    rng = random.Random(stress_seed)
+    payload = [f"row-{i}" for i in range(10)]
+    vid = service.commit(payload, parents=[], message="base")
+    oracle.record(vid, payload)
+    for step in range(8):
+        payload = _mutate(rng, payload, 0, step)
+        vid = service.commit(payload, parents=[vid], message=f"s{step}")
+        oracle.record(vid, payload)
+
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def reader() -> None:
+        reader_rng = random.Random(stress_seed + 1)
+        try:
+            while not stop.is_set():
+                for target in oracle.sample(reader_rng, count=3):
+                    assert service.checkout(target).payload == oracle.expected(
+                        target
+                    ), f"seed={stress_seed}: {target} diverged mid-repack"
+        except BaseException as error:
+            errors.append(error)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for _ in range(3):
+            service.repack(use_workload=False, threshold_factor=2.0)
+    finally:
+        stop.set()
+        thread.join(timeout=60)
+    service.close()
+    assert not errors, f"seed={stress_seed}: {errors[0]!r}"
+    assert service.repacker.epoch == 3
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("stress_seed", [3, 11, 29], indirect=True)
+def test_interleaving_stress_battery(stress_seed):
+    """The heavier schedule the CI fault-injection job runs."""
+    run_interleaving(stress_seed, num_workers=6, ops_per_worker=60, cache_size=16)
