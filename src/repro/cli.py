@@ -45,6 +45,14 @@ because CLI invocations are separate processes); relative paths are
 resolved inside the repository directory and the chosen spec is remembered
 in the state file.  ``checkout --batch`` serves many versions through the
 batch engine, replaying shared delta-chain prefixes only once.
+
+``init --backend sqlite://PATH`` puts *all* metadata — version graph,
+branch heads, epoch pointer, workload counters, controller state — plus
+the object bytes into one transactional SQLite database (WAL mode).  The
+JSON state file shrinks to a backend pointer; multiple processes (several
+``repro serve`` instances, or serve + CLI one-shots) can then share the
+store safely: commits and repack epoch swaps are single transactions, and
+each process adopts peer changes by watching the catalog's change counter.
 """
 
 from __future__ import annotations
@@ -70,14 +78,29 @@ _DEFAULT_BACKEND = f"file://{_OBJECTS_DIR}"
 _WORKLOAD_FILE = "workload.log"
 
 
-def open_workload_log(directory: str, half_life: float | None = None) -> WorkloadLog:
+def open_workload_log(
+    directory: str,
+    half_life: float | None = None,
+    repo: Repository | None = None,
+) -> WorkloadLog:
     """The repository's persistent access-frequency log.
 
     Lives next to the state file, so checkouts served by any process —
     CLI one-shots and ``repro serve`` alike — accumulate into one record
     that ``repro repack --workload`` can optimize against.  ``half_life``
     configures the decaying view (in accesses) for ``--half-life`` flows.
+
+    When ``repo`` is backed by a ``sqlite://`` metadata catalog the log
+    lives in the catalog itself (one transactional home for all metadata,
+    shared by every process on the store) instead of a sidecar file.
     """
+    catalog = getattr(repo, "catalog", None) if repo is not None else None
+    if catalog is not None:
+        from .storage.catalog import CatalogWorkloadLog
+
+        if half_life is not None:
+            return CatalogWorkloadLog(catalog, half_life=half_life)
+        return CatalogWorkloadLog(catalog)
     path = os.path.join(directory, _WORKLOAD_FILE)
     if half_life is not None:
         return WorkloadLog(path, half_life=half_life)
@@ -168,9 +191,22 @@ def save_repository(repo: Repository, directory: str) -> None:
         # backends without a reopenable spec are rejected loudly rather
         # than persisted as a state file no process could ever open.
         backend_spec = _absolutize_spec(repo.store.backend.spec())
+    state_path = os.path.join(directory, _STATE_FILE)
+    if repo.catalog is not None:
+        # The sqlite:// catalog is the authoritative metadata store; the
+        # state file shrinks to a pointer so `load_repository` knows which
+        # backend to open.  Mirroring graph/branches/epoch here would just
+        # create a second copy that goes stale the moment a peer process
+        # commits through the shared catalog.
+        with open(state_path, "w", encoding="utf-8") as handle:
+            json.dump({"backend": _require_persistent(backend_spec)}, handle, indent=2)
+        return
     state = {
         "backend": _require_persistent(backend_spec),
         "counter": repo._counter,
+        # The repack epoch rides along so `stats.repack.epoch` stays
+        # monotonic across restarts even without a catalog.
+        "epoch": repo.epoch,
         "current_branch": repo.current_branch,
         "branches": {
             name: head for name, head in repo.branches.items()
@@ -187,7 +223,7 @@ def save_repository(repo: Repository, directory: str) -> None:
             for version in repo.graph.versions
         ],
     }
-    with open(os.path.join(directory, _STATE_FILE), "w", encoding="utf-8") as handle:
+    with open(state_path, "w", encoding="utf-8") as handle:
         json.dump(state, handle, indent=2)
 
 
@@ -209,6 +245,11 @@ def load_repository(directory: str) -> Repository:
         delta_against_parent=True,
     )
     repo.backend_spec = backend_spec
+    if repo.catalog is not None:
+        # sqlite:// repositories self-load: the Repository constructor
+        # already synced graph, branches, counter and epoch straight from
+        # the transactional catalog, which outranks any JSON mirror.
+        return repo
     # Rebuild the version graph and object mapping without re-encoding.
     from .core.version import Version
 
@@ -226,6 +267,7 @@ def load_repository(directory: str) -> Repository:
     repo._branches = dict(state["branches"])
     repo._current_branch = state["current_branch"]
     repo._counter = state["counter"]
+    repo.epoch = int(state.get("epoch", 0))
     return repo
 
 
@@ -278,11 +320,11 @@ def _cmd_checkout(args: argparse.Namespace) -> int:
     if args.batch or len(args.versions) > 1:
         code = _batch_checkout(repo, args)
         if code == 0:
-            open_workload_log(args.repository).record_many(args.versions)
+            open_workload_log(args.repository, repo=repo).record_many(args.versions)
         return code
     version = args.versions[0]
     result = repo.checkout(version)
-    open_workload_log(args.repository).record(version)
+    open_workload_log(args.repository, repo=repo).record(version)
     text = "\n".join(result.payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -472,7 +514,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         # payload is replayed to answer this.
         from .storage.repack import expected_workload_cost
 
-        frequencies = open_workload_log(args.repository).frequencies(
+        frequencies = open_workload_log(args.repository, repo=repo).frequencies(
             repo.graph.version_ids
         )
         expected = expected_workload_cost(repo, frequencies or None)
@@ -545,7 +587,7 @@ def _cmd_repack(args: argparse.Namespace) -> int:
     repo = load_repository(args.repository)
     frequencies: dict = {}
     if args.workload or args.half_life is not None:
-        log = open_workload_log(args.repository, half_life=args.half_life)
+        log = open_workload_log(args.repository, half_life=args.half_life, repo=repo)
         if args.half_life is not None:
             # The decaying view: recent traffic outweighs all-time counts.
             frequencies = log.decayed_frequencies(repo.graph.version_ids)
@@ -612,7 +654,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         on_commit=lambda repository: save_repository(repository, args.repository),
         # Persist observed access frequencies inside the repository, so the
         # workload survives restarts and feeds `repro repack --workload`.
-        workload_log=open_workload_log(args.repository),
+        workload_log=open_workload_log(args.repository, repo=repo),
         max_workers=args.workers,
         repack_budget=args.repack_budget,
         auto_repack_interval=args.repack_interval,
@@ -671,8 +713,10 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument(
         "--backend",
         default=_DEFAULT_BACKEND,
-        help="storage backend spec: file://PATH or zip://PATH "
-        "(relative paths live inside the repository directory)",
+        help="storage backend spec: file://PATH, zip://PATH, or "
+        "sqlite://PATH for a transactional metadata catalog that multiple "
+        "processes can share (relative paths live inside the repository "
+        "directory)",
     )
     init.set_defaults(handler=_cmd_init)
 

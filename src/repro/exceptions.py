@@ -20,6 +20,8 @@ __all__ = [
     "RepositoryError",
     "ObjectNotFoundError",
     "MergeError",
+    "StaleEpochError",
+    "SnapshotConflictError",
     "DeltaApplicationError",
     "SolverError",
 ]
@@ -85,6 +87,25 @@ class ObjectNotFoundError(RepositoryError, KeyError):
 
 class MergeError(RepositoryError):
     """A merge could not be performed (e.g. fewer than two parents)."""
+
+
+class StaleEpochError(RepositoryError):
+    """A transactional write was judged against metadata that moved underneath.
+
+    Raised by the metadata catalog when a commit's delta base no longer
+    matches the active snapshot's mapping for the parent version (a peer
+    process repacked between encoding and the commit transaction).  The
+    caller should resynchronize from the catalog and retry.
+    """
+
+
+class SnapshotConflictError(RepositoryError):
+    """A staged snapshot could not be activated.
+
+    Exactly one activation wins per epoch: when a peer process activated a
+    different snapshot after this one was staged, the activation transaction
+    refuses and the staged epoch must be failed and pruned instead.
+    """
 
 
 class DeltaApplicationError(ReproError):

@@ -26,6 +26,10 @@ POST      ``/repack``             ``{"problem"?, "threshold"?,
                                   workload-aware online repack → report;
                                   ``{"adaptive": true}`` instead runs one
                                   adaptive-controller evaluation cycle
+GET       ``/snapshots``          epoch history from the metadata catalog
+                                  (``sqlite://`` stores; 400 otherwise)
+POST      ``/prune``              drop dead/failed epochs and sweep
+                                  unreferenced objects → GC report
 ========  ======================  =============================================
 
 Payloads travel as JSON values, so the service API handles any
@@ -176,6 +180,14 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "checkout":
                 self._send_json(200, self.service.checkout(parts[1]).to_dict())
                 return True
+            if parts == ["snapshots"]:
+                catalog = self.service.repository.catalog
+                if catalog is None:
+                    raise ReproError(
+                        "epoch history requires a sqlite:// metadata catalog"
+                    )
+                self._send_json(200, {"snapshots": catalog.snapshots()})
+                return True
             return False
         if method == "POST":
             if parts == ["checkout"]:
@@ -271,6 +283,10 @@ class _Handler(BaseHTTPRequestHandler):
                     dry_run=bool(body.get("dry_run", False)),
                 )
                 self._send_json(200, report)
+                return True
+            if parts == ["prune"]:
+                self._read_body()  # tolerate (and drain) an empty JSON body
+                self._send_json(200, self.service.prune_epochs())
                 return True
             return False
         return False

@@ -63,7 +63,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
-from ..exceptions import ReproError
+from ..exceptions import ReproError, SnapshotConflictError
 from ..storage.batch import BatchMaterializer, BatchResult
 from ..storage.concurrency import EpochCoordinator, StripedLockManager
 from ..storage.repack import (
@@ -262,8 +262,17 @@ class VersionStoreService:
         self._on_commit = on_commit
         # Every served checkout is folded into the workload log; with a
         # file-backed log (the CLI passes one inside the repository) the
-        # observed frequencies survive restarts and drive `repack`.
-        self.workload_log = workload_log if workload_log is not None else WorkloadLog()
+        # observed frequencies survive restarts and drive `repack`.  A
+        # catalog-backed repository defaults to the catalog's shared
+        # counters, so several serving processes fold into one record.
+        if workload_log is not None:
+            self.workload_log = workload_log
+        elif getattr(repository, "catalog", None) is not None:
+            from ..storage.catalog import CatalogWorkloadLog
+
+            self.workload_log = CatalogWorkloadLog(repository.catalog)
+        else:
+            self.workload_log = WorkloadLog()
         self.repacker = OnlineRepacker(repository)
         # coordinator: shared for every read path, exclusive for commits /
         # the repack swap / raw backend writes.  _state_lock guards the
@@ -293,6 +302,29 @@ class VersionStoreService:
         self._auto_repack_running = False
         self._auto_repack_suppressed = False
         self._auto_repack_error: str | None = None
+        # A catalog remembers the controller's learned baseline across
+        # restarts: what the store's cost structure looks like is a
+        # property of the store, not of one process lifetime.
+        if self.controller is not None:
+            self._restore_controller_state()
+
+    def _restore_controller_state(self) -> None:
+        catalog = getattr(self.repository, "catalog", None)
+        if catalog is None or self.controller is None:
+            return
+        saved = catalog.load_controller_state()
+        if saved:
+            self.controller.load_state(saved)
+
+    def _persist_controller_state(self) -> None:
+        catalog = getattr(self.repository, "catalog", None)
+        if catalog is None or self.controller is None:
+            return
+        try:
+            catalog.save_controller_state(self.controller.state_dict())
+        except Exception as error:  # pragma: no cover - persistence best-effort
+            with self._state_lock:
+                self._auto_repack_error = f"{type(error).__name__}: {error}"
 
     # ------------------------------------------------------------------ #
     # writes
@@ -315,6 +347,9 @@ class VersionStoreService:
         """
         with self._write_gate:
             with self.coordinator.exclusive():
+                # Adopt peer-process state (new versions, branch heads, a
+                # swapped epoch) before judging branches and parents.
+                self.repository.sync()
                 if branch is not None:
                     if branch not in self.repository.branches:
                         self.repository.branch(branch)
@@ -333,6 +368,7 @@ class VersionStoreService:
                     self._auto_repack_suppressed = False
                 if self.controller is not None:
                     self.controller.note_commit()
+                    self._persist_controller_state()
         return version_id
 
     # ------------------------------------------------------------------ #
@@ -482,6 +518,9 @@ class VersionStoreService:
         adaptive controller triggers on; ``repack.controller`` exposes
         that controller's state machine when armed.
         """
+        # A cheap catalog poll first, so the reported epoch and version
+        # count reflect peer-process commits and swaps.
+        self.repository.sync()
         with self.coordinator.shared():
             with self._state_lock:
                 serving = self.stats_counters.snapshot()
@@ -629,6 +668,10 @@ class VersionStoreService:
         store was actually re-encoded.
         """
         with self._write_gate:
+            # Plan over the freshest state: peer commits adopted here are
+            # covered by the plan; ones landing later are carried forward
+            # by the catalog's activation transaction.
+            self.repository.sync()
             with self.coordinator.shared():
                 if len(self.repository) == 0:
                     raise ReproError("cannot repack an empty repository")
@@ -681,16 +724,28 @@ class VersionStoreService:
                 staged = self.repacker.rebuild(result.plan)
                 # Phase 2 — the exclusive barrier: the only window in which
                 # reads pause, and it contains no payload access at all.
-                with self.coordinator.exclusive():
-                    swap_report = self.repacker.swap(staged)
-                    # The serving cache holds payloads keyed by dead-epoch
-                    # object ids; drop it inside the same exclusive window.
-                    self.materializer.clear_cache()
-                    if self._on_commit is not None:
-                        # The swap repointed every version and collected the
-                        # old objects; persist the new mapping immediately —
-                        # a crash must not leave a state file naming them.
-                        self._on_commit(self.repository)
+                try:
+                    with self.coordinator.exclusive():
+                        swap_report = self.repacker.swap(staged)
+                        # The serving cache holds payloads keyed by
+                        # dead-epoch object ids; drop it inside the same
+                        # exclusive window.
+                        self.materializer.clear_cache()
+                        if self._on_commit is not None:
+                            # The swap repointed every version and collected
+                            # the old objects; persist the new mapping
+                            # immediately — a crash must not leave a state
+                            # file naming them.
+                            self._on_commit(self.repository)
+                except SnapshotConflictError as error:
+                    # A peer process activated its own epoch first.  The
+                    # staging was marked failed (prunable); this store is
+                    # already repacked — by the peer — so report the race
+                    # instead of raising through the request.
+                    report["epoch"] = self.repacker.epoch
+                    report["applied"] = False
+                    report["conflict"] = str(error)
+                    return report
                 # Priced outside the barrier: totalling storage enumerates
                 # backend keys and may read index-unseen orphans — reads
                 # are flowing again by now, commits still wait at the gate.
@@ -703,6 +758,23 @@ class VersionStoreService:
             report["expected_cost_after"] = expected_after
             report["applied"] = True
         return report
+
+    def prune_epochs(self) -> dict[str, float]:
+        """Garbage-collect dead/failed epochs (catalog-backed stores only).
+
+        Dead epochs keep their version→object mapping after a swap so
+        point-in-time reads stay possible; this drops every non-active
+        snapshot row and sweeps store objects no retained mapping reaches
+        (crashed stagings included).  Runs under the write gate and the
+        exclusive barrier — commits wait, reads pause briefly.  In a
+        multi-process deployment, prune from one process while peers are
+        not writing (see the sharing rules in docs/serving.md).  Returns
+        ``{"pruned_snapshots": 0.0, "removed_objects": 0.0}`` when the
+        repository has no catalog.
+        """
+        with self._write_gate:
+            with self.coordinator.exclusive():
+                return self.repacker.prune_dead_epochs()
 
     def close(self, timeout: float = 60.0) -> bool:
         """Quiesce the service: stand the auto-repack policy down, wait for
@@ -758,6 +830,7 @@ class VersionStoreService:
                 self.controller = AdaptiveRepackController(
                     horizon=self.repack_horizon
                 )
+                self._restore_controller_state()
             if self._auto_repack_running:
                 return {
                     "adaptive": True,
@@ -802,6 +875,7 @@ class VersionStoreService:
         ):
             report["reason"] = controller.last_reason
             report["controller"] = controller.snapshot()
+            self._persist_controller_state()
             return report
 
         weight = priced["weight"] or float(len(version_ids))
@@ -838,6 +912,7 @@ class VersionStoreService:
         report["reason"] = controller.last_reason
         report["repack"] = plan_report
         report["controller"] = controller.snapshot()
+        self._persist_controller_state()
         return report
 
     def _adaptive_repack_worker(self) -> None:

@@ -20,7 +20,11 @@
 * :mod:`~repro.storage.repack` — the online re-packer: stages a new
   encoding while readers keep serving, then swaps epochs atomically;
 * :mod:`~repro.storage.workload_log` — persistent per-version access
-  frequencies that feed the workload-aware optimizers with real traffic.
+  frequencies that feed the workload-aware optimizers with real traffic;
+* :mod:`~repro.storage.catalog` — the ``sqlite://`` transactional metadata
+  catalog (version graph, branch heads, epoch snapshots, workload counters
+  and controller state in one WAL-mode database that several processes can
+  share).
 """
 
 from .backends import (
@@ -34,6 +38,7 @@ from .backends import (
     register_backend,
 )
 from .batch import BatchItem, BatchMaterializer, BatchResult, WarmChainCost
+from .catalog import CatalogWorkloadLog, MetadataCatalog, SQLiteBackend
 from .concurrency import EpochCoordinator, StripedLockManager
 from .materializer import LRUPayloadCache, MaterializationResult, Materializer
 from .objects import ChainStats, ObjectMeta, ObjectStore, StoredObject
@@ -62,6 +67,9 @@ __all__ = [
     "BatchMaterializer",
     "BatchResult",
     "WarmChainCost",
+    "CatalogWorkloadLog",
+    "MetadataCatalog",
+    "SQLiteBackend",
     "EpochCoordinator",
     "StripedLockManager",
     "LRUPayloadCache",

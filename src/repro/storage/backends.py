@@ -20,7 +20,11 @@ Five implementations are selectable with a URI-style spec understood by
   opens four ``FilesystemBackend`` shards under ``/data/objects``);
 * ``http://HOST:PORT`` — a remote object store served by another repro
   process running ``repro serve`` (provided by
-  :mod:`repro.server.remote`, registered lazily on first use).
+  :mod:`repro.server.remote`, registered lazily on first use);
+* ``sqlite://PATH`` — objects *and* the transactional metadata catalog in
+  one SQLite database (provided by :mod:`repro.storage.catalog`,
+  registered lazily on first use) — the backend that lets several
+  processes share one store.
 
 Backends deliberately know nothing about full objects, deltas or chains —
 they store opaque values under string keys.  All versioning semantics stay
@@ -154,10 +158,16 @@ class FilesystemBackend(StorageBackend):
     scheme = "file"
     extension = ".obj"
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, *, durable: bool = False) -> None:
         if not directory:
             raise BackendSpecError(f"{self.scheme}:// backend requires a path")
         self.directory = directory
+        # durable=True fsyncs every put (file and directory).  Without it a
+        # power loss after os.replace can still lose the object: the rename
+        # is atomic in the namespace but neither the data nor the directory
+        # entry is guaranteed on disk.  Off by default — tests and throwaway
+        # stores should not pay two fsyncs per object.
+        self.durable = bool(durable)
         os.makedirs(directory, exist_ok=True)
 
     # -- serialization hooks (overridden by the compressed variant) ------ #
@@ -177,7 +187,21 @@ class FilesystemBackend(StorageBackend):
         tmp_path = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
         with open(tmp_path, "wb") as handle:
             handle.write(self._encode(value))
+            if self.durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        if self.durable:
+            self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        # The rename itself lives in the directory entry; without this
+        # fsync the entry may never reach disk even though the data did.
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def get(self, key: str) -> Any:
         try:
@@ -347,6 +371,7 @@ _BACKENDS: dict[str, type[StorageBackend]] = {
 _LAZY_BACKEND_MODULES: dict[str, str] = {
     "http": "repro.server.remote",
     "https": "repro.server.remote",
+    "sqlite": "repro.storage.catalog",
 }
 
 
@@ -368,6 +393,8 @@ def open_backend(spec: str | StorageBackend | None) -> StorageBackend:
     * ``"shard://N/CHILDSPEC"`` — a :class:`ShardedBackend` over N children;
     * ``"http://HOST:PORT"`` — a ``RemoteBackend`` speaking to another repro
       process's object-store endpoints (see :mod:`repro.server`);
+    * ``"sqlite://PATH"`` — a ``SQLiteBackend`` whose database also carries
+      the metadata catalog (see :mod:`repro.storage.catalog`);
     * a bare path — treated as ``file://PATH`` for convenience.
     """
     if spec is None:

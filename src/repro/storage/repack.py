@@ -36,7 +36,12 @@ from ..core.instance import ROOT
 from ..core.problems import SolveResult, default_threshold, solve
 from ..core.storage_plan import StoragePlan
 from ..core.version import VersionID
-from ..exceptions import InvalidStoragePlanError, ReproError
+from ..exceptions import (
+    InvalidStoragePlanError,
+    ObjectNotFoundError,
+    ReproError,
+    SnapshotConflictError,
+)
 from .batch import BatchMaterializer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -470,6 +475,61 @@ class AdaptiveRepackController:
                 self._standdown_frequencies = None
                 self.last_reason = "re-armed: a commit changed the store"
 
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable mutable state, for persistence in the catalog.
+
+        Covers everything :meth:`load_state` restores — the learned
+        baseline, the state machine's position and the workload shapes its
+        verdicts were judged under — but none of the constructor-tunable
+        thresholds (those belong to the process configuration, not to the
+        store).
+        """
+        with self._lock:
+            return {
+                "state": self.state,
+                "baseline": self.baseline,
+                "last_cost": self.last_cost,
+                "last_reason": self.last_reason,
+                "evaluations": self.evaluations,
+                "repacks_fired": self.repacks_fired,
+                "standdown_cost": self._standdown_cost,
+                "standdown_frequencies": self._standdown_frequencies,
+                "reference_frequencies": self._reference_frequencies,
+            }
+
+    def load_state(self, state: "Mapping[str, Any] | None") -> None:
+        """Restore :meth:`state_dict` output (a restarted serving process).
+
+        Unknown keys are ignored and missing ones keep their defaults, so
+        state saved by an older layout still loads; ``None`` (nothing was
+        ever persisted) is a no-op.
+        """
+        if state is None:
+            return
+        with self._lock:
+            value = state.get("state")
+            if value in ("warming", "steady", "triggered", "stand-down"):
+                self.state = value
+            baseline = state.get("baseline")
+            self.baseline = float(baseline) if baseline is not None else None
+            last_cost = state.get("last_cost")
+            self.last_cost = float(last_cost) if last_cost is not None else None
+            self.last_reason = str(state.get("last_reason") or self.last_reason)
+            self.evaluations = int(state.get("evaluations") or 0)
+            self.repacks_fired = int(state.get("repacks_fired") or 0)
+            standdown_cost = state.get("standdown_cost")
+            self._standdown_cost = (
+                float(standdown_cost) if standdown_cost is not None else None
+            )
+            frequencies = state.get("standdown_frequencies")
+            self._standdown_frequencies = (
+                dict(frequencies) if frequencies is not None else None
+            )
+            frequencies = state.get("reference_frequencies")
+            self._reference_frequencies = (
+                dict(frequencies) if frequencies is not None else None
+            )
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready controller state for the service's ``stats``."""
         with self._lock:
@@ -509,6 +569,9 @@ class StagedRepack:
     old_objects: set[str]
     num_deltas: int
     storage_before: float
+    #: Catalog snapshot row staged by this rebuild (``None`` when the
+    #: repository has no metadata catalog).
+    snapshot_id: int | None = None
 
 
 class OnlineRepacker:
@@ -524,8 +587,18 @@ class OnlineRepacker:
     def __init__(self, repository: "Repository", *, payload_cache_size: int = 64) -> None:
         self.repository = repository
         self.payload_cache_size = int(payload_cache_size)
-        self.epoch = 0
         self.lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        """The active epoch — owned by the repository, not this object.
+
+        Plain repositories count epochs in memory (the CLI's state file
+        persists the number); a catalog-backed repository reads it from
+        the database, so it is monotonic across restarts and shared
+        between processes.
+        """
+        return self.repository.epoch
 
     # ------------------------------------------------------------------ #
     # planning
@@ -572,6 +645,11 @@ class OnlineRepacker:
         repository = self.repository
         for vid in repository.graph.version_ids:
             if vid not in plan:
+                if repository.catalog is not None:
+                    # A version adopted from a peer after the plan was
+                    # computed keeps its current encoding: the activation
+                    # transaction carries unplanned versions forward.
+                    continue
                 raise InvalidStoragePlanError(
                     f"plan does not cover repository version {vid!r}"
                 )
@@ -580,6 +658,15 @@ class OnlineRepacker:
         old_object_of = {
             vid: repository.object_id_of(vid) for vid in repository.graph.version_ids
         }
+
+        # With a metadata catalog, the epoch being staged is a snapshot row
+        # from the start: a crash anywhere in this phase leaves a staged
+        # (or failed) row that prune_dead_epochs can clean, and the old
+        # epoch keeps serving untouched.
+        catalog = repository.catalog
+        snapshot_id: int | None = None
+        if catalog is not None:
+            snapshot_id, _ = catalog.create_snapshot()
 
         # Payloads are content — independent of how they are encoded — so
         # the old encoding can be read lazily while new objects are
@@ -606,15 +693,26 @@ class OnlineRepacker:
                     new_objects[parent], delta
                 )
                 num_deltas += 1
-        except BaseException:
-            # An aborted staging must not leak half an epoch into the store:
-            # drop every object this rebuild created (never ones that were
-            # shared with the live encoding by content addressing — those
-            # pre-existed).  Readers cannot reference the staged keys, so
-            # removal is safe even mid-traffic.
-            for object_id in set(new_objects.values()) - pre_existing:
-                repository.store.remove(object_id)
+        except BaseException as exc:
+            if catalog is not None:
+                # A shared store forbids removing the staged objects here:
+                # a peer staging concurrently can own identical
+                # content-addressed keys.  Mark the snapshot failed; the
+                # next prune sweeps whatever no retained mapping reaches.
+                catalog.fail_snapshot(snapshot_id, repr(exc))
+            else:
+                # An aborted staging must not leak half an epoch into the
+                # store: drop every object this rebuild created (never ones
+                # that were shared with the live encoding by content
+                # addressing — those pre-existed).  Readers cannot
+                # reference the staged keys, so removal is safe even
+                # mid-traffic.
+                for object_id in set(new_objects.values()) - pre_existing:
+                    repository.store.remove(object_id)
             raise
+
+        if catalog is not None:
+            catalog.stage_mapping(snapshot_id, new_objects)
 
         return StagedRepack(
             plan=plan,
@@ -622,6 +720,7 @@ class OnlineRepacker:
             old_objects=set(old_object_of.values()),
             num_deltas=num_deltas,
             storage_before=storage_before,
+            snapshot_id=snapshot_id,
         )
 
     # ------------------------------------------------------------------ #
@@ -640,6 +739,8 @@ class OnlineRepacker:
         dictionary-walk cost no matter how large the store is.
         """
         repository = self.repository
+        if repository.catalog is not None:
+            return self._swap_catalog(staged)
         for vid, object_id in staged.new_objects.items():
             repository._set_object(vid, object_id)
 
@@ -657,7 +758,7 @@ class OnlineRepacker:
         # Stale payloads and chain metadata describe the dead epoch.
         repository.materializer.clear_cache()
         repository.batch_materializer.clear_cache()
-        self.epoch += 1
+        repository.epoch += 1
 
         # Deliberately no ``storage_after`` here: totalling storage
         # enumerates backend keys (and reads any object the index has not
@@ -671,6 +772,87 @@ class OnlineRepacker:
             "num_deltas": float(staged.num_deltas),
             "epoch": float(self.epoch),
         }
+
+    def _swap_catalog(self, staged: StagedRepack) -> dict[str, float]:
+        """The catalog form of the swap: one database transaction.
+
+        :meth:`~repro.storage.catalog.MetadataCatalog.activate_snapshot`
+        atomically repoints the active epoch at the staged mapping (with
+        versions committed since the staging carried forward), so a crash
+        leaves either the old epoch fully serving or the new one — never a
+        mix.  Exactly one activation wins per epoch: losing the race to a
+        peer process raises :class:`~repro.exceptions.SnapshotConflictError`
+        after marking the staging failed (prunable).  Dead epochs keep
+        their mapping for point-in-time reads until pruned — garbage
+        collection is :meth:`prune_dead_epochs`'s job, not the swap's.
+        """
+        repository = self.repository
+        catalog = repository.catalog
+        stats = {
+            "storage_before": staged.storage_before,
+            "num_versions": float(len(staged.plan)),
+            "num_materialized": float(len(staged.plan.materialized_versions())),
+            "num_deltas": float(staged.num_deltas),
+        }
+        new_epoch = catalog.activate_snapshot(staged.snapshot_id, stats)
+        if new_epoch is None:
+            catalog.fail_snapshot(
+                staged.snapshot_id, "lost the activation race to a peer"
+            )
+            raise SnapshotConflictError(
+                f"snapshot {staged.snapshot_id} was staged against an epoch "
+                "that is no longer active (a peer repacked first); the "
+                "staging was marked failed and can be pruned"
+            )
+        # Adopt the activated mapping (staged + carried-forward versions)
+        # and the new epoch; the sync drops the payload caches on the
+        # epoch change.
+        repository.sync(force=True)
+        report = dict(stats)
+        report["epoch"] = float(new_epoch)
+        report["snapshot_id"] = float(staged.snapshot_id)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # epoch garbage collection (catalog-backed repositories)
+    # ------------------------------------------------------------------ #
+    def prune_dead_epochs(self) -> dict[str, float]:
+        """Drop every non-active snapshot and sweep unreferenced objects.
+
+        Point-in-time reads of dead epochs end here: their mapping rows are
+        deleted, then every store object not reachable from a *retained*
+        mapping's chain is removed — which also collects orphans left by
+        crashed or failed stagings and by lost commit races.  Callers must
+        quiesce peer writers first (the serving layer holds its write gate;
+        multi-process deployments prune from one process while the others
+        only read — see the sharing rules in docs/serving.md): a peer's
+        objects written but not yet mapped would look unreferenced.
+        No-op without a catalog.
+        """
+        repository = self.repository
+        catalog = repository.catalog
+        if catalog is None:
+            return {"pruned_snapshots": 0.0, "removed_objects": 0.0}
+        with self.lock:
+            pruned = 0
+            for snapshot_id in catalog.prunable_snapshots():
+                catalog.prune_snapshot(snapshot_id)
+                pruned += 1
+            referenced: set[str] = set()
+            for object_id in catalog.live_object_ids():
+                try:
+                    referenced.update(repository.store.chain_ids(object_id))
+                except ObjectNotFoundError:  # pragma: no cover - torn peer state
+                    continue
+            removed = 0
+            for object_id in repository.store.object_ids():
+                if object_id not in referenced:
+                    repository.store.remove(object_id)
+                    removed += 1
+            return {
+                "pruned_snapshots": float(pruned),
+                "removed_objects": float(removed),
+            }
 
     # ------------------------------------------------------------------ #
     # single-threaded convenience

@@ -21,6 +21,7 @@ this package:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -31,13 +32,37 @@ from ..core.version import Version, VersionID
 from ..core.version_graph import VersionGraph
 from ..delta.base import DeltaEncoder, payload_size
 from ..delta.line_diff import LineDiffEncoder
-from ..exceptions import MergeError, RepositoryError, VersionNotFoundError
+from ..exceptions import (
+    MergeError,
+    RepositoryError,
+    StaleEpochError,
+    VersionNotFoundError,
+)
 from .backends import StorageBackend
 from .batch import BatchMaterializer, BatchResult
 from .materializer import MaterializationResult, Materializer
 from .objects import ObjectStore
 
 __all__ = ["Repository", "CheckoutStats"]
+
+
+def _find_catalog(backend: StorageBackend) -> Any:
+    """The metadata catalog behind ``backend``, if its chain carries one.
+
+    A ``sqlite://`` backend exposes ``.catalog``; test wrappers (e.g. the
+    fault-injecting :class:`~repro.storage.testing.FlakyBackend`) expose
+    the wrapped backend as ``.child`` — follow a few links so wrapping a
+    cataloged backend keeps it cataloged.
+    """
+    current: Any = backend
+    for _ in range(8):
+        if current is None:
+            return None
+        catalog = getattr(current, "catalog", None)
+        if catalog is not None:
+            return catalog
+        current = getattr(current, "child", None)
+    return None
 
 
 @dataclass
@@ -104,6 +129,81 @@ class Repository:
         self._current_branch = self.DEFAULT_BRANCH
         self._counter = 0
         self.checkout_stats = CheckoutStats()
+        # Active repack epoch.  Plain repositories count it in memory (the
+        # CLI persists it in the JSON state file); a catalog-backed
+        # repository reads it from the database, where it is monotonic
+        # across restarts and shared between processes.
+        self.epoch = 0
+        # A sqlite:// backend carries a transactional metadata catalog.
+        # When present, the catalog is the source of truth for the version
+        # graph, branch heads, id allocation and the epoch pointer; this
+        # object is a cache kept current by :meth:`sync`.
+        self._catalog = _find_catalog(self.store.backend)
+        self._change_seq = -1
+        self._sync_lock = threading.Lock()
+        if self._catalog is not None:
+            self.sync(force=True)
+
+    # ------------------------------------------------------------------ #
+    # the metadata catalog
+    # ------------------------------------------------------------------ #
+    @property
+    def catalog(self) -> Any:
+        """The transactional metadata catalog, or ``None`` when file-backed."""
+        return self._catalog
+
+    def sync(self, *, force: bool = False) -> bool:
+        """Adopt catalog state written since the last sync (peer processes).
+
+        Cheap when nothing changed: one read of the catalog's change
+        counter.  On a change, unseen versions are added to the graph, the
+        version→object mapping and branch heads are replaced wholesale,
+        and — when the active epoch moved (a peer repacked) — the payload
+        caches are dropped, since they describe the dead encoding.
+        Returns ``True`` when state was adopted.
+        """
+        if self._catalog is None:
+            return False
+        with self._sync_lock:
+            seq = self._catalog.change_seq()
+            if not force and seq == self._change_seq:
+                return False
+            state = self._catalog.state()
+            epoch_changed = int(state["epoch"]) != self.epoch
+            for row in state["versions"]:
+                if row["id"] in self.graph:
+                    continue
+                self.graph.add_version(
+                    Version(
+                        version_id=row["id"],
+                        size=row["size"],
+                        name=row["name"],
+                        parents=tuple(row["parents"]),
+                        created_at=row["created_at"],
+                        metadata=dict(row["metadata"]),
+                    )
+                )
+            self._object_of = dict(state["objects"])
+            branches = dict(state["branches"])
+            if not branches:
+                branches = {self.DEFAULT_BRANCH: None}
+            self._branches = branches
+            if self._change_seq < 0 or self._current_branch not in branches:
+                # First load adopts the catalog's current branch (a fresh
+                # process resumes where the last `switch` left off); after
+                # that the current branch is session-local, and only a
+                # peer *deleting* it forces a fallback.
+                fallback = state["current_branch"]
+                self._current_branch = (
+                    fallback if fallback in branches else next(iter(branches))
+                )
+            self._counter = max(self._counter, int(state["counter"]))
+            self.epoch = int(state["epoch"])
+            self._change_seq = int(state["change_seq"])
+            if epoch_changed:
+                self.materializer.clear_cache()
+                self.batch_materializer.clear_cache()
+            return True
 
     # ------------------------------------------------------------------ #
     # branching
@@ -126,12 +226,16 @@ class Repository:
         if head is not None and head not in self.graph:
             raise VersionNotFoundError(head)
         self._branches[name] = head
+        if self._catalog is not None:
+            self._catalog.save_branch(name, head)
 
     def switch(self, name: str) -> None:
         """Make ``name`` the current branch."""
         if name not in self._branches:
             raise RepositoryError(f"branch {name!r} does not exist")
         self._current_branch = name
+        if self._catalog is not None:
+            self._catalog.save_current_branch(name)
 
     def head(self, branch: str | None = None) -> VersionID | None:
         """Head version of ``branch`` (default: the current branch)."""
@@ -164,7 +268,17 @@ class Repository:
             parent_ids = (head,) if head is not None else ()
         for parent in parent_ids:
             if parent not in self.graph:
-                raise VersionNotFoundError(parent)
+                # A peer process may have committed the parent since the
+                # last sync; adopt the catalog state before giving up.
+                if (
+                    self._catalog is None
+                    or not self.sync()
+                    or parent not in self.graph
+                ):
+                    raise VersionNotFoundError(parent)
+
+        if self._catalog is not None:
+            return self._commit_catalog(payload, parent_ids, message, version_id)
 
         vid = version_id if version_id is not None else self._next_id()
         size = payload_size(payload)
@@ -191,6 +305,75 @@ class Repository:
             self._object_of[vid] = self.store.put_full(payload)
 
         self._branches[self._current_branch] = vid
+        return vid
+
+    def _commit_catalog(
+        self,
+        payload: Any,
+        parent_ids: tuple[VersionID, ...],
+        message: str,
+        version_id: VersionID | None,
+    ) -> VersionID:
+        """Commit through the catalog's transaction, retrying stale deltas.
+
+        The payload is encoded first (outside any transaction — encoding
+        may be slow), then registered with
+        :meth:`~repro.storage.catalog.MetadataCatalog.record_commit`, which
+        validates the delta base against the *current* active mapping.  A
+        :class:`~repro.exceptions.StaleEpochError` means a peer repacked
+        between encoding and the transaction: re-sync and re-encode against
+        the new mapping; as a last resort store the payload in full (a full
+        object has no base to go stale).  Objects orphaned by a lost race
+        are content-addressed leftovers swept by the next epoch prune.
+        """
+        size = payload_size(payload)
+        for attempt in range(3):
+            delta_base: VersionID | None = None
+            base_object: str | None = None
+            object_id: str | None = None
+            if self.delta_against_parent and parent_ids and attempt < 2:
+                base_vid = parent_ids[0]
+                base_payload = self.checkout(base_vid, record_stats=False).payload
+                delta = self.encoder.diff(base_payload, payload)
+                if delta.storage_cost < size:
+                    base_object = self._object_of[base_vid]
+                    object_id = self.store.put_delta(base_object, delta)
+                    delta_base = base_vid
+            if object_id is None:
+                object_id = self.store.put_full(payload)
+                base_object = None
+            try:
+                vid, created_at = self._catalog.record_commit(
+                    version_id=version_id,
+                    size=size,
+                    name=message,
+                    parents=parent_ids,
+                    metadata={"message": message},
+                    object_id=object_id,
+                    branch=self._current_branch,
+                    base_version=delta_base,
+                    base_object_id=base_object,
+                )
+                break
+            except StaleEpochError:
+                if attempt == 2:  # pragma: no cover - full commits never stale
+                    raise
+                self.sync(force=True)
+        if vid not in self.graph:
+            self.graph.add_version(
+                Version(
+                    version_id=vid,
+                    size=size,
+                    name=message or str(vid),
+                    parents=parent_ids,
+                    created_at=created_at,
+                    metadata={"message": message},
+                )
+            )
+        self._object_of[vid] = object_id
+        self._branches[self._current_branch] = vid
+        if version_id is None:
+            self._counter = max(self._counter, created_at + 1)
         return vid
 
     def merge(
@@ -223,7 +406,11 @@ class Repository:
     def checkout(self, version_id: VersionID, record_stats: bool = True) -> MaterializationResult:
         """Reconstruct the payload of ``version_id``."""
         if version_id not in self._object_of:
-            raise VersionNotFoundError(version_id)
+            # The version may have been committed by a peer process since
+            # the last sync; adopt the catalog state before giving up.
+            self.sync()
+            if version_id not in self._object_of:
+                raise VersionNotFoundError(version_id)
         result = self.materializer.materialize(self._object_of[version_id])
         if record_stats:
             self.checkout_stats.record(version_id, result)
@@ -242,7 +429,9 @@ class Repository:
         requests: list[tuple[VersionID, str]] = []
         for vid in version_ids:
             if vid not in self._object_of:
-                raise VersionNotFoundError(vid)
+                self.sync()  # a peer process may have committed it
+                if vid not in self._object_of:
+                    raise VersionNotFoundError(vid)
             requests.append((vid, self._object_of[vid]))
         result = self.batch_materializer.materialize_many(requests)
         if record_stats:
@@ -392,7 +581,11 @@ class Repository:
         try:
             return self._object_of[version_id]
         except KeyError:
-            raise VersionNotFoundError(version_id) from None
+            self.sync()  # a peer process may have committed it
+            try:
+                return self._object_of[version_id]
+            except KeyError:
+                raise VersionNotFoundError(version_id) from None
 
     def _set_object(self, version_id: VersionID, object_id: str) -> None:
         """Repoint ``version_id`` at a different object (used by the planner)."""

@@ -404,10 +404,18 @@ class WorkloadLog:
         snapshot = self._decayed_snapshot_locked()
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
+            # Weights are carried at full float precision: json round-trips
+            # floats exactly, and rounding here compounds across repeated
+            # compactions into a real drift of the decayed view.
             for vid, count in self._counts.items():
                 handle.write(
-                    json.dumps([vid, count, round(snapshot.get(vid, 0.0), 6)]) + "\n"
+                    json.dumps([vid, count, snapshot.get(vid, 0.0)]) + "\n"
                 )
+            handle.flush()
+            os.fsync(handle.fileno())
+        # fsync the tmp file *before* os.replace: the rename must never
+        # become visible pointing at data the disk has not seen — that is
+        # the one ordering a crash can turn into an empty (truncated) log.
         os.replace(tmp_path, self.path)
         self._file_lines = len(self._counts)
         self._needs_newline = False

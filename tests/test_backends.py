@@ -81,6 +81,24 @@ class TestFilesystemBackends:
         assert compressed.get("key") == payload
         assert compressed_size < plain_size / 2
 
+    def test_durable_put_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        synced_fds: list[int] = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced_fds.append(fd), real_fsync(fd))[1]
+        )
+        durable = FilesystemBackend(str(tmp_path / "durable"), durable=True)
+        durable.put("key", ["payload"])
+        # One fsync for the temp file, one for the directory entry: the
+        # rename is only crash-durable once both reached the platter.
+        assert len(synced_fds) == 2
+        assert durable.get("key") == ["payload"]
+
+        synced_fds.clear()
+        relaxed = FilesystemBackend(str(tmp_path / "relaxed"))
+        relaxed.put("key", ["payload"])
+        assert synced_fds == []  # default stays fast
+
     def test_traversal_keys_rejected(self, tmp_path):
         backend = FilesystemBackend(str(tmp_path / "objs"))
         for bad in ("", "../escape", ".hidden", f"a{os.sep}b"):

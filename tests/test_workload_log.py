@@ -296,6 +296,33 @@ class TestDecayingView:
         assert after["new"] == pytest.approx(before["new"], rel=1e-3)
         assert after["old"] == pytest.approx(before["old"], rel=1e-3)
 
+    def test_compaction_keeps_full_weight_precision(self, tmp_path):
+        path = str(tmp_path / "workload.log")
+        log = WorkloadLog(path, half_life=7.0)
+        for _ in range(123):
+            log.record("hot")
+        log.record("cold")
+        before = log.decayed_counts()
+        log.compact()
+        after = WorkloadLog(path, half_life=7.0).decayed_counts()
+        # Bit-exact, not approximately equal: compaction must not round
+        # the persisted weights (repeated compactions would drift).
+        assert after == before
+
+    def test_compaction_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            os_module, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        log = WorkloadLog(str(tmp_path / "workload.log"))
+        log.record("v0", count=5)
+        synced.clear()
+        log.compact()
+        assert synced, "compaction must fsync the rewritten log before rename"
+
     def test_snapshot_reports_half_life(self):
         log = WorkloadLog(half_life=42.0)
         log.record("v0", count=3)
