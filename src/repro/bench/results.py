@@ -1,0 +1,58 @@
+"""Benchmark trajectory files: ``BENCH_*.json`` emission.
+
+Every benchmark entry point can persist its result rows as one JSON
+document so CI uploads them as artifacts and successive PRs accumulate a
+performance trajectory (ROADMAP item 5).  The schema is deliberately
+flat and stable:
+
+.. code-block:: json
+
+    {
+      "benchmark": "serve",
+      "timestamp": "2026-08-07T12:00:00Z",
+      "params": {"num_requests": 60, "seed": 0},
+      "metrics": {"serve_warm_vs_cold": [{"scenario": "...", ...}]}
+    }
+
+``timestamp`` is caller-supplied (CI passes the commit SHA or a build
+time) so re-running the same commit produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping
+
+__all__ = ["bench_document", "write_bench_json"]
+
+
+def bench_document(
+    benchmark: str,
+    params: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    timestamp: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the trajectory-file document (see the module docstring)."""
+    return {
+        "benchmark": str(benchmark),
+        "timestamp": timestamp
+        or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "params": dict(params),
+        "metrics": {name: value for name, value in metrics.items()},
+    }
+
+
+def write_bench_json(
+    path: str,
+    benchmark: str,
+    params: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    timestamp: str | None = None,
+) -> dict[str, Any]:
+    """Write one ``BENCH_*.json`` document to *path* and return it."""
+    document = bench_document(benchmark, params, metrics, timestamp)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return document

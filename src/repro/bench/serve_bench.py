@@ -426,3 +426,60 @@ def concurrent_serving_benchmark(
         }
     )
     return rows
+
+
+# --------------------------------------------------------------------- #
+# CLI entry point: the fast benches -> BENCH_serve.json (CI artifact)
+# --------------------------------------------------------------------- #
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the fast serving benchmarks and emit a ``BENCH_serve.json``.
+
+    ``python -m repro.bench.serve_bench --output BENCH_serve.json`` — the
+    CI benchmark step runs exactly this and uploads the file, so the
+    serving numbers accumulate a trajectory across PRs.
+    """
+    import argparse
+
+    from .results import write_bench_json
+
+    parser = argparse.ArgumentParser(
+        description="serving benchmarks -> BENCH_serve.json"
+    )
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        help="stamp recorded in the document (CI passes the commit SHA)",
+    )
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--cache-size", type=int, default=64)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    graphs = batch_benchmark_scenarios(scale=args.scale, seed=args.seed)
+    params = {
+        "num_requests": args.requests,
+        "cache_size": args.cache_size,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+    metrics = {
+        "serve_warm_vs_cold": serve_warm_vs_cold(
+            graphs,
+            num_requests=args.requests,
+            cache_size=args.cache_size,
+            seed=args.seed,
+        ),
+        "warm_pricing": warm_pricing_benchmark(
+            graphs, num_requests=args.requests, seed=args.seed
+        ),
+        "concurrent_serving": concurrent_serving_benchmark(seed=args.seed),
+    }
+    write_bench_json(args.output, "serve", params, metrics, args.timestamp)
+    print(f"wrote {args.output} ({len(metrics)} benchmark groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

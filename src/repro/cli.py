@@ -475,6 +475,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if _is_remote(args.repository):
         from .server.remote import ServiceClient
 
+        if getattr(args, "metrics", False):
+            # The raw Prometheus exposition, exactly what a scraper sees.
+            print(ServiceClient(args.repository).metrics_text(), end="")
+            return 0
         stats = ServiceClient(args.repository).stats()
         serving, repository = stats["serving"], stats["repository"]
         workload = stats.get("workload", {})
@@ -500,6 +504,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ]
         print(format_table(["metric", "value"], rows))
         return 0
+    if getattr(args, "metrics", False):
+        raise ReproError(
+            "--metrics reads a live registry; point stats at a running "
+            "server (http://HOST:PORT) instead of a repository directory"
+        )
     repo = load_repository(args.repository)
     naive = sum(v.size for v in repo.graph.versions)
     rows = [
@@ -645,6 +654,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--adaptive-repack replaces --repack-budget; arm one policy, not both"
         )
     repo = load_repository(args.repository)
+    log_sink = None
+    if getattr(args, "log_json", None):
+        from .obs import JsonLogSink
+
+        log_sink = JsonLogSink(args.log_json)
     service = VersionStoreService(
         repo,
         cache_size=args.cache_size,
@@ -660,6 +674,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         auto_repack_interval=args.repack_interval,
         adaptive_repack=args.adaptive_repack,
         repack_horizon=args.repack_horizon,
+        log_sink=log_sink,
     )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -782,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository directory, or http://HOST:PORT of a running "
         "'repro serve' process",
     )
+    stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the raw Prometheus text from the server's GET /metrics "
+        "(remote repositories only)",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     serve = sub.add_parser(
@@ -842,6 +863,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="evaluate the armed auto-repack policy every N served "
         "requests (default 32)",
+    )
+    serve.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-lines events (requests, repack "
+        "decisions) to PATH; set REPRO_METRICS=off to disable the "
+        "/metrics registry instead",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -1,0 +1,51 @@
+"""Zero-dependency observability: metrics, traces, decision log, log sink.
+
+The serving stack self-optimizes (adaptive repacking, warm-cost eviction)
+but was a black box at runtime.  This package is the instrumentation layer
+every component reports through, built entirely on the standard library:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and bucketed histograms (with quantile estimates),
+  rendered as Prometheus text exposition for ``GET /metrics`` and as JSON
+  for ``/stats``.  :meth:`MetricsRegistry.null` (or ``REPRO_METRICS=off``)
+  swaps in a no-op registry so instrumentation can never tax the hot path.
+* :mod:`repro.obs.trace` — per-request :class:`Trace` objects with nested
+  context-manager spans recording wall time, lock-wait time and tags; the
+  ``?trace=1`` query flag returns the span tree with the response and an
+  ``X-Trace`` header names the trace.
+* :mod:`repro.obs.decisions` — a queryable :class:`DecisionLog` ring
+  buffer of adaptive-repack controller verdicts (trigger, drift, gain,
+  gate, staging cost), persisted through the metadata catalog when the
+  repository has one so the decision history survives restarts.
+* :mod:`repro.obs.logsink` — an optional structured JSON-lines event sink
+  (``repro serve --log-json PATH``) for requests, repack decisions and
+  backend errors.
+
+See ``docs/observability.md`` for the metric-name table, span taxonomy
+and decision-log schema.
+"""
+
+from .decisions import DecisionLog
+from .logsink import JsonLogSink
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry_from_env,
+    log_once,
+)
+from .trace import Span, Trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry_from_env",
+    "log_once",
+    "DecisionLog",
+    "JsonLogSink",
+    "Span",
+    "Trace",
+]

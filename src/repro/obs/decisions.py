@@ -1,0 +1,89 @@
+"""Structured repack decision log: queryable ring buffer + catalog persistence.
+
+Every adaptive-controller evaluate cycle (and every manual repack) appends
+one record describing *why* the controller did what it did: the trigger,
+the measured drift, the projected gain, the amortization-gate verdict and
+the staging-cost estimate.  The in-memory ring buffer answers ``/stats``
+queries; when the repository is backed by the ``sqlite://`` catalog each
+record is also written through, so the decision history survives a
+restart and can be audited across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from .metrics import log_once
+
+
+class DecisionLog:
+    """Thread-safe ring buffer of decision records, optionally persisted."""
+
+    def __init__(self, capacity: int = 256, catalog: Optional[object] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._catalog = catalog
+        if catalog is not None:
+            self._load_from_catalog(catalog, capacity)
+
+    def _load_from_catalog(self, catalog: object, capacity: int) -> None:
+        loader = getattr(catalog, "repack_decisions", None)
+        if loader is None:
+            return
+        try:
+            prior = loader(limit=capacity)
+        except Exception:
+            log_once(
+                "decision-log:load",
+                "could not load persisted repack decisions from the catalog",
+            )
+            return
+        with self._lock:
+            for record in prior:
+                self._records.append(dict(record))
+                seq = record.get("seq")
+                if isinstance(seq, int) and seq > self._seq:
+                    self._seq = seq
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Stamp *record* with a sequence number, buffer and persist it."""
+        with self._lock:
+            self._seq += 1
+            stamped = dict(record)
+            stamped["seq"] = self._seq
+            self._records.append(stamped)
+        catalog = self._catalog
+        if catalog is not None:
+            saver = getattr(catalog, "append_repack_decision", None)
+            if saver is not None:
+                try:
+                    saver(stamped)
+                except Exception:
+                    log_once(
+                        "decision-log:persist",
+                        "could not persist a repack decision to the catalog; "
+                        "the in-memory ring buffer still has it",
+                    )
+        return stamped
+
+    def tail(self, limit: int = 50) -> List[Dict[str, object]]:
+        """Most recent records, oldest first."""
+        with self._lock:
+            records = list(self._records)
+        if limit >= 0:
+            records = records[-limit:]
+        return [dict(r) for r in records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq

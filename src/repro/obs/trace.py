@@ -1,0 +1,166 @@
+"""Per-request trace spans: nested timing with lock-wait attribution.
+
+A :class:`Trace` is created per request (when tracing is requested via
+``?trace=1`` or a log sink is attached) and carries a tree of
+:class:`Span` objects.  Each span records wall time, an optional
+lock-wait component (time spent blocked before the guarded section ran),
+and a free-form tag dict.  ``Trace.null()`` returns a shared no-op trace
+so instrumented code never branches on ``if trace is not None``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+_TRACE_IDS = itertools.count(1)
+_TRACE_ID_LOCK = threading.Lock()
+
+
+def _next_trace_id() -> str:
+    with _TRACE_ID_LOCK:
+        seq = next(_TRACE_IDS)
+    return "t%08x-%04x" % (int(time.time()) & 0xFFFFFFFF, seq & 0xFFFF)
+
+
+class Span:
+    """One timed section.  Context manager; nests via ``span.span(...)``."""
+
+    __slots__ = ("name", "tags", "children", "started", "ended", "lock_wait_s", "_trace")
+
+    def __init__(self, trace: "Trace", name: str, tags: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.tags: Dict[str, object] = dict(tags or {})
+        self.children: List[Span] = []
+        self.started = 0.0
+        self.ended = 0.0
+        self.lock_wait_s = 0.0
+        self._trace = trace
+
+    def __enter__(self) -> "Span":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.ended = time.perf_counter()
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+
+    def span(self, name: str, **tags: object) -> "Span":
+        child = Span(self._trace, name, tags)
+        self.children.append(child)
+        return child
+
+    def tag(self, key: str, value: object) -> None:
+        self.tags[key] = value
+
+    def add_lock_wait(self, seconds: float) -> None:
+        self.lock_wait_s += seconds
+
+    @property
+    def wall_s(self) -> float:
+        if not self.started:
+            return 0.0
+        end = self.ended or time.perf_counter()
+        return end - self.started
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "wall_ms": round(self.wall_s * 1000.0, 4),
+        }
+        if self.lock_wait_s:
+            out["lock_wait_ms"] = round(self.lock_wait_s * 1000.0, 4)
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class Trace:
+    """A request-scoped span tree with a stable id for the X-Trace header."""
+
+    enabled = True
+
+    def __init__(self, name: str = "request", trace_id: Optional[str] = None):
+        self.trace_id = trace_id or _next_trace_id()
+        self.root = Span(self, name)
+        self.root.started = time.perf_counter()
+
+    @staticmethod
+    def null() -> "NullTrace":
+        return NULL_TRACE
+
+    def span(self, name: str, **tags: object) -> Span:
+        return self.root.span(name, **tags)
+
+    def tag(self, key: str, value: object) -> None:
+        self.root.tag(key, value)
+
+    def finish(self) -> None:
+        if not self.root.ended:
+            self.root.ended = time.perf_counter()
+
+    def to_dict(self) -> Dict[str, object]:
+        self.finish()
+        return {"trace_id": self.trace_id, "span": self.root.to_dict()}
+
+
+class _NullSpan:
+    """No-op span shared by every disabled trace."""
+
+    __slots__ = ()
+    name = ""
+    tags: Dict[str, object] = {}
+    children: List[Span] = []
+    lock_wait_s = 0.0
+    wall_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def span(self, name: str, **tags: object) -> "_NullSpan":
+        return self
+
+    def tag(self, key: str, value: object) -> None:
+        pass
+
+    def add_lock_wait(self, seconds: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTrace(Trace):
+    """Disabled trace: spans are free, output is empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.trace_id = ""
+        self.root = _NULL_SPAN  # type: ignore[assignment]
+
+    def span(self, name: str, **tags: object) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def tag(self, key: str, value: object) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_TRACE = NullTrace()

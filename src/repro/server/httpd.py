@@ -10,9 +10,22 @@ package itself.  Two API surfaces share the socket:
 Method    Path                    Body / response
 ========  ======================  =============================================
 GET       ``/healthz``            ``{"status": "ok"}``
-GET       ``/stats``              serving + repository counters
+GET       ``/metrics``            Prometheus text exposition of the service
+                                  registry (``REPRO_METRICS=off`` disables)
+GET       ``/stats``              serving + repository counters, the metrics
+                                  snapshot and the repack decision-log tail
 GET       ``/checkout/VID``       one version's payload and serving costs
 POST      ``/checkout``           ``{"version": VID}`` — same as GET form
+========  ======================  =============================================
+
+Checkout routes accept ``?trace=1`` (or ``"trace": true`` in a POST body):
+the response then carries an ``X-Trace`` header and a ``"trace"`` span dump
+covering the coalesce wait, shared section and materialization with its
+stripe-lock wait attributed.
+
+========  ======================  =============================================
+Method    Path                    Body / response
+========  ======================  =============================================
 POST      ``/checkout_many``      ``{"versions": [...]}`` — batched serving
 POST      ``/commit``             ``{"payload": ..., "parents"?, "message"?,
                                   "branch"?}`` → ``{"version": VID}``
@@ -54,11 +67,13 @@ from __future__ import annotations
 import json
 import pickle
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from ..exceptions import ReproError, VersionNotFoundError
+from ..obs import Trace
 from .service import VersionStoreService
 
 __all__ = ["VersionStoreHTTPServer", "serve", "serve_in_thread"]
@@ -77,6 +92,21 @@ class VersionStoreHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], service: VersionStoreService) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        # Transport-level instruments, shared by every per-request handler.
+        # Endpoint labels are the first path segment only (never a version
+        # id), so the label cardinality is bounded by the route table.
+        registry = service.metrics
+        self.metrics_on = bool(getattr(registry, "enabled", False))
+        self.http_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency by endpoint (transport-inclusive).",
+            ("endpoint",),
+        )
+        self.http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            ("endpoint", "code"),
+        )
 
     @property
     def url(self) -> str:
@@ -97,12 +127,36 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # request logging is the operator's job (wrap serve() if needed)
+        pass  # request logging is the operator's job (use --log-json instead)
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+    #: Status of the last response sent, recorded for metrics and the log
+    #: sink (0 until a response goes out).
+    _last_status = 0
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._last_status = code
+        super().send_response(code, message)
+
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -138,6 +192,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
+        endpoint = parts[0] if parts else "root"
+        sink = self.service.log_sink
+        timed = self.server.metrics_on or sink is not None
+        started = time.perf_counter() if timed else 0.0
         # On HTTP/1.1 keep-alive connections an unread request body would be
         # parsed as the *next* request line, desynchronizing the stream;
         # whenever a response goes out without the body having been read
@@ -165,6 +223,40 @@ class _Handler(BaseHTTPRequestHandler):
             # flushed: the socket is dropped instead of being reused.
             if not self._body_consumed and int(self.headers.get("Content-Length") or 0) > 0:
                 self.close_connection = True
+            if timed:
+                elapsed = time.perf_counter() - started
+                if self.server.metrics_on:
+                    self.server.http_seconds.labels(endpoint).observe(elapsed)
+                    self.server.http_requests.labels(
+                        endpoint, self._last_status
+                    ).inc()
+                if sink is not None:
+                    sink.emit(
+                        "request",
+                        method=method,
+                        endpoint=endpoint,
+                        path=parsed.path,
+                        status=self._last_status,
+                        duration_ms=round(elapsed * 1000.0, 4),
+                    )
+
+    @staticmethod
+    def _trace_requested(query: dict[str, list[str]], body: dict[str, Any] | None = None) -> bool:
+        values = query.get("trace")
+        if values and values[-1].strip().lower() in {"1", "true", "yes", "on"}:
+            return True
+        return bool(body and body.get("trace"))
+
+    def _send_traced(
+        self, payload: dict[str, Any], trace: Trace | None
+    ) -> None:
+        """Send a 200 JSON response, folding in the span dump when traced."""
+        if trace is None:
+            self._send_json(200, payload)
+            return
+        payload = dict(payload)
+        payload["trace"] = trace.to_dict()
+        self._send_json(200, payload, {"X-Trace": trace.trace_id})
 
     # -- routing -------------------------------------------------------- #
     def _route(self, method: str, parts: list[str], query: dict[str, list[str]]) -> bool:
@@ -174,11 +266,20 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["healthz"]:
                 self._send_json(200, {"status": "ok"})
                 return True
+            if parts == ["metrics"]:
+                self._send_text(
+                    200,
+                    self.service.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return True
             if parts == ["stats"]:
                 self._send_json(200, self.service.stats())
                 return True
             if len(parts) == 2 and parts[0] == "checkout":
-                self._send_json(200, self.service.checkout(parts[1]).to_dict())
+                trace = Trace() if self._trace_requested(query) else None
+                response = self.service.checkout(parts[1], trace=trace)
+                self._send_traced(response.to_dict(), trace)
                 return True
             if parts == ["snapshots"]:
                 catalog = self.service.repository.catalog
@@ -194,16 +295,18 @@ class _Handler(BaseHTTPRequestHandler):
                 body = self._read_json()
                 if "version" not in body:
                     raise ReproError("checkout requires a 'version' field")
-                self._send_json(200, self.service.checkout(body["version"]).to_dict())
+                trace = Trace() if self._trace_requested(query, body) else None
+                response = self.service.checkout(body["version"], trace=trace)
+                self._send_traced(response.to_dict(), trace)
                 return True
             if parts == ["checkout_many"]:
                 body = self._read_json()
                 versions = body.get("versions")
                 if not isinstance(versions, list):
                     raise ReproError("checkout_many requires a 'versions' list")
-                result = self.service.checkout_many(versions)
-                self._send_json(
-                    200,
+                trace = Trace() if self._trace_requested(query, body) else None
+                result = self.service.checkout_many(versions, trace=trace)
+                self._send_traced(
                     {
                         "items": {
                             str(vid): {
@@ -216,6 +319,7 @@ class _Handler(BaseHTTPRequestHandler):
                         },
                         "summary": result.summary(),
                     },
+                    trace,
                 )
                 return True
             if parts == ["commit"]:

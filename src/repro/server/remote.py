@@ -230,6 +230,21 @@ class ServiceClient:
     def plan(self, **options: Any) -> dict[str, Any]:
         return self._post("/plan", options)
 
+    def metrics_text(self) -> str:
+        """The server's ``GET /metrics`` Prometheus text exposition, raw."""
+        url = f"{self.base_url}/metrics"
+        try:
+            raw = _http("GET", url, data=None, content_type=None, timeout=self.timeout)
+        except urlerror.HTTPError as error:
+            raise RemoteServiceError(
+                f"GET {url} failed: HTTP {error.code}"
+            ) from error
+        except urlerror.URLError as error:
+            raise RemoteServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from error
+        return raw.decode("utf-8")
+
     def repack(self, **options: Any) -> dict[str, Any]:
         """Trigger a server-side online repack (``POST /repack``).
 

@@ -64,6 +64,9 @@ from typing import Any, Callable, Iterable, Sequence
 from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
 from ..exceptions import ReproError, SnapshotConflictError
+from ..obs import DecisionLog, JsonLogSink, MetricsRegistry, Trace
+from ..obs.metrics import default_registry_from_env
+from ..obs.trace import NULL_TRACE
 from ..storage.batch import BatchMaterializer, BatchResult
 from ..storage.concurrency import EpochCoordinator, StripedLockManager
 from ..storage.repack import (
@@ -240,6 +243,8 @@ class VersionStoreService:
         auto_repack_interval: int = 32,
         adaptive_repack: bool = False,
         repack_horizon: float = 1000.0,
+        metrics: MetricsRegistry | None = None,
+        log_sink: JsonLogSink | None = None,
     ) -> None:
         if adaptive_repack and repack_budget is not None:
             raise ValueError(
@@ -307,6 +312,73 @@ class VersionStoreService:
         # property of the store, not of one process lifetime.
         if self.controller is not None:
             self._restore_controller_state()
+        # Observability: a metrics registry (REPRO_METRICS=off selects the
+        # no-op null registry), an optional JSON-lines event sink, and a
+        # decision log that writes through to the catalog when one exists
+        # so the repack audit trail survives restarts.
+        self.metrics = metrics if metrics is not None else default_registry_from_env()
+        self.log_sink = log_sink
+        self.decision_log = DecisionLog(
+            capacity=256, catalog=getattr(repository, "catalog", None)
+        )
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Create this service's instruments and bind every collaborator."""
+        registry = self.metrics
+        self._metrics_on = bool(getattr(registry, "enabled", False))
+        self.chain_locks.bind_metrics(registry)
+        self.coordinator.bind_metrics(registry)
+        self.materializer.bind_metrics(registry)
+        self.repository.store.bind_metrics(registry)
+        latency = registry.histogram(
+            "repro_request_seconds",
+            "Service-level request latency by endpoint.",
+            ("endpoint",),
+        )
+        self._m_checkout = latency.labels("checkout")
+        self._m_checkout_many = latency.labels("checkout_many")
+        self._m_commit = latency.labels("commit")
+        self._m_requests = registry.counter(
+            "repro_requests_total",
+            "Requests served, by endpoint and outcome.",
+            ("endpoint", "outcome"),
+        )
+        self._m_coalesced = registry.counter(
+            "repro_coalesced_requests_total",
+            "Checkouts served by sharing a concurrent leader's replay.",
+        )
+        self._m_decisions = registry.counter(
+            "repro_repack_decisions_total",
+            "Adaptive-controller evaluate outcomes, by verdict.",
+            ("verdict",),
+        )
+        self._m_repacks = registry.counter(
+            "repro_repacks_total",
+            "Applied online repacks, by what initiated them.",
+            ("mode",),
+        )
+        if not self._metrics_on:
+            return
+        epoch_gauge = registry.gauge("repro_epoch", "Active storage epoch.")
+        versions_gauge = registry.gauge(
+            "repro_versions", "Versions in the served graph."
+        )
+        objects_gauge = registry.gauge(
+            "repro_objects", "Objects in the backing store."
+        )
+        workload_gauge = registry.gauge(
+            "repro_workload_accesses_total",
+            "Accesses folded into the workload log.",
+        )
+
+        def collect(_registry: MetricsRegistry) -> None:
+            epoch_gauge.set(self.repacker.epoch)
+            versions_gauge.set(len(self.repository))
+            objects_gauge.set(len(self.repository.store))
+            workload_gauge.set(self.workload_log.total_accesses)
+
+        registry.register_collector(collect)
 
     def _restore_controller_state(self) -> None:
         catalog = getattr(self.repository, "catalog", None)
@@ -345,6 +417,27 @@ class VersionStoreService:
         held so a stats snapshot never sees a committed version without its
         commit counted.
         """
+        started = time.perf_counter() if self._metrics_on else 0.0
+        try:
+            version_id = self._commit_locked(
+                payload, parents=parents, message=message, branch=branch
+            )
+        except BaseException:
+            self._m_requests.labels("commit", "error").inc()
+            raise
+        if self._metrics_on:
+            self._m_commit.observe(time.perf_counter() - started)
+            self._m_requests.labels("commit", "ok").inc()
+        return version_id
+
+    def _commit_locked(
+        self,
+        payload: Any,
+        *,
+        parents: Iterable[VersionID] | None,
+        message: str,
+        branch: str | None,
+    ) -> VersionID:
         with self._write_gate:
             with self.coordinator.exclusive():
                 # Adopt peer-process state (new versions, branch heads, a
@@ -374,7 +467,9 @@ class VersionStoreService:
     # ------------------------------------------------------------------ #
     # reads
     # ------------------------------------------------------------------ #
-    def checkout(self, version_id: VersionID) -> CheckoutResponse:
+    def checkout(
+        self, version_id: VersionID, *, trace: Trace | None = None
+    ) -> CheckoutResponse:
         """Serve one version through the warm cache, coalescing duplicates.
 
         Concurrent requests for the same version share a single chain
@@ -384,7 +479,29 @@ class VersionStoreService:
         chains replay in parallel — only same-chain leaders serialize on
         their chain's stripe lock, where the second finds the first's work
         already cached.
+
+        Pass a live :class:`~repro.obs.Trace` (the HTTP layer does, for
+        ``?trace=1`` requests) to receive a span tree covering the
+        coalesce wait, the shared section and the materialization with its
+        stripe-lock wait attributed.
         """
+        trace = trace if trace is not None else NULL_TRACE
+        started = time.perf_counter() if self._metrics_on else 0.0
+        try:
+            response = self._checkout_traced(version_id, trace)
+        except BaseException:
+            self._m_requests.labels("checkout", "error").inc()
+            raise
+        if self._metrics_on:
+            self._m_checkout.observe(time.perf_counter() - started)
+            self._m_requests.labels("checkout", "ok").inc()
+            if response.coalesced:
+                self._m_coalesced.inc()
+        return response
+
+    def _checkout_traced(
+        self, version_id: VersionID, trace: Trace
+    ) -> CheckoutResponse:
         with self._state_lock:
             entry = self._inflight.get(version_id)
             leader = entry is None
@@ -392,7 +509,8 @@ class VersionStoreService:
                 entry = _Inflight()
                 self._inflight[version_id] = entry
         if not leader:
-            entry.event.wait()
+            with trace.span("coalesce_wait", version=str(version_id)):
+                entry.event.wait()
             if entry.error is not None:
                 raise entry.error
             assert entry.response is not None
@@ -419,7 +537,8 @@ class VersionStoreService:
             return response
 
         try:
-            with self.coordinator.shared():
+            shared_span = trace.span("shared", version=str(version_id))
+            with shared_span, self.coordinator.shared():
                 object_id = self.repository.object_id_of(version_id)
                 # The stripe key is the chain's root object when the cost
                 # index's memo can answer it in O(1); on a tip the index
@@ -428,8 +547,17 @@ class VersionStoreService:
                 # memoizes the stats, so every later request stripes by
                 # the root with a single dictionary lookup.
                 root = self.repository.store.cached_chain_root(object_id)
-                with self.chain_locks.holding(root or object_id):
-                    item = self.materializer.materialize(object_id)
+                span = shared_span.span("materialize", object=str(object_id))
+                with span:
+                    observer = span.add_lock_wait if trace.enabled else None
+                    with self.chain_locks.holding(
+                        root or object_id, observer=observer
+                    ):
+                        item = self.materializer.materialize(object_id)
+                if trace.enabled:
+                    span.tag("chain_length", item.chain_length)
+                    span.tag("deltas_applied", item.deltas_applied)
+                    span.tag("cache_hits", item.cache_hits)
                 response = CheckoutResponse(
                     version_id=version_id,
                     payload=item.payload,
@@ -468,7 +596,9 @@ class VersionStoreService:
         self._maybe_auto_repack()
         return response
 
-    def checkout_many(self, version_ids: Sequence[VersionID]) -> BatchResult:
+    def checkout_many(
+        self, version_ids: Sequence[VersionID], *, trace: Trace | None = None
+    ) -> BatchResult:
         """Serve a whole batch through the warm cache (union-tree replay).
 
         Independent union trees of the batch replay in parallel on the
@@ -476,11 +606,31 @@ class VersionStoreService:
         chain's stripe lock, so concurrent batches and single checkouts on
         the same chain cooperate instead of racing.
         """
-        with self.coordinator.shared():
+        trace = trace if trace is not None else NULL_TRACE
+        started = time.perf_counter() if self._metrics_on else 0.0
+        try:
+            result = self._checkout_many_traced(version_ids, trace)
+        except BaseException:
+            self._m_requests.labels("checkout_many", "error").inc()
+            raise
+        if self._metrics_on:
+            self._m_checkout_many.observe(time.perf_counter() - started)
+            self._m_requests.labels("checkout_many", "ok").inc()
+        return result
+
+    def _checkout_many_traced(
+        self, version_ids: Sequence[VersionID], trace: Trace
+    ) -> BatchResult:
+        shared_span = trace.span("shared", batch=len(version_ids))
+        with shared_span, self.coordinator.shared():
             requests = [
                 (vid, self.repository.object_id_of(vid)) for vid in version_ids
             ]
-            result = self.materializer.materialize_many(requests)
+            with shared_span.span("materialize_many", requests=len(requests)) as span:
+                result = self.materializer.materialize_many(requests)
+                if trace.enabled:
+                    span.tag("deltas_applied", result.deltas_applied)
+                    span.tag("naive_deltas", result.naive_delta_applications)
             with self._state_lock:
                 for vid, _ in requests:
                     item = result.items[vid]
@@ -566,6 +716,8 @@ class VersionStoreService:
                 "controller": (
                     self.controller.snapshot() if self.controller is not None else None
                 ),
+                "decisions": self.decision_log.tail(20),
+                "decision_seq": self.decision_log.last_seq,
             }
             concurrency = {
                 "max_workers": self.max_workers,
@@ -578,6 +730,9 @@ class VersionStoreService:
             "workload": workload,
             "repack": repack,
             "concurrency": concurrency,
+            # The same registry `GET /metrics` scrapes, as JSON: quantile
+            # estimates for the histograms, raw values for the rest.
+            "metrics": self.metrics.snapshot(),
         }
 
     def plan(
@@ -633,6 +788,7 @@ class VersionStoreService:
         half_life: float | None = None,
         dry_run: bool = False,
         gate: Callable[[dict[str, Any]], bool] | None = None,
+        mode: str = "manual",
     ) -> dict[str, Any]:
         """Re-optimize the storage plan against observed traffic, online.
 
@@ -665,8 +821,67 @@ class VersionStoreService:
         (the adaptive controller's amortization gate plugs in here, so the
         expensive plan is solved exactly once per decision).  Returns a
         JSON-ready report either way; ``"applied"`` records whether the
-        store was actually re-encoded.
+        store was actually re-encoded.  ``mode`` only labels the decision
+        record (``manual`` / ``budget`` / ``adaptive``).
         """
+        report = self._repack_locked(
+            problem=problem,
+            threshold=threshold,
+            threshold_factor=threshold_factor,
+            hop_limit=hop_limit,
+            algorithm=algorithm,
+            use_workload=use_workload,
+            half_life=half_life,
+            dry_run=dry_run,
+            gate=gate,
+        )
+        self._record_repack_decision(report, mode)
+        return report
+
+    def _record_repack_decision(self, report: dict[str, Any], mode: str) -> None:
+        """Fold one repack outcome into the decision log, metrics and sink."""
+        applied = bool(report.get("applied"))
+        record: dict[str, Any] = {
+            "event": "repack",
+            "ts": round(time.time(), 3),
+            "mode": mode,
+            "applied": applied,
+            "dry_run": bool(report.get("dry_run")),
+            "workload_aware": bool(report.get("workload_aware")),
+            "epoch": report.get("epoch"),
+            "expected_cost_before": (report.get("expected_cost_before") or {}).get(
+                "per_request"
+            ),
+            "expected_cost_after": (report.get("expected_cost_after") or {}).get(
+                "per_request"
+            ),
+        }
+        if "conflict" in report:
+            record["conflict"] = report["conflict"]
+        self.decision_log.append(record)
+        if applied:
+            self._m_repacks.labels(mode).inc()
+        self._emit_decision(record)
+
+    def _emit_decision(self, record: dict[str, Any]) -> None:
+        if self.log_sink is None:
+            return
+        fields = {k: v for k, v in record.items() if k != "event"}
+        self.log_sink.emit(str(record.get("event", "decision")), **fields)
+
+    def _repack_locked(
+        self,
+        *,
+        problem: int,
+        threshold: float | None,
+        threshold_factor: float | None,
+        hop_limit: int,
+        algorithm: str,
+        use_workload: bool,
+        half_life: float | None,
+        dry_run: bool,
+        gate: Callable[[dict[str, Any]], bool] | None,
+    ) -> dict[str, Any]:
         with self._write_gate:
             # Plan over the freshest state: peer commits adopted here are
             # covered by the plan; ones landing later are carried forward
@@ -804,6 +1019,8 @@ class VersionStoreService:
         if quiesced:
             self._write_gate.release()
         self.materializer.close()
+        if self.log_sink is not None:
+            self.log_sink.close()
         return quiesced
 
     # ------------------------------------------------------------------ #
@@ -846,7 +1063,46 @@ class VersionStoreService:
                 self._auto_repack_running = False
 
     def _adaptive_cycle(self, **plan_options: Any) -> dict[str, Any]:
-        """One evaluate → (maybe plan) → (maybe repack) controller pass."""
+        """One evaluate → (maybe plan) → (maybe repack) controller pass.
+
+        Every cycle — fired, gate-vetoed or stood down — leaves one
+        structured record in the decision log (persisted via the catalog
+        when the store has one) and bumps the per-verdict decision counter.
+        """
+        report = self._adaptive_cycle_inner(**plan_options)
+        self._record_adaptive_decision(report)
+        return report
+
+    def _record_adaptive_decision(self, report: dict[str, Any]) -> None:
+        controller_snapshot = report.get("controller") or {}
+        fired = bool(report.get("fired"))
+        if fired:
+            verdict = "fired"
+        elif "projected_cost_per_request" in report:
+            # The controller triggered and a plan was solved, but the
+            # amortization gate (or a swap conflict) kept it from applying.
+            verdict = "vetoed"
+        else:
+            verdict = "held"
+        record: dict[str, Any] = {
+            "event": "adaptive_evaluate",
+            "ts": round(time.time(), 3),
+            "verdict": verdict,
+            "fired": fired,
+            "reason": report.get("reason"),
+            "state": controller_snapshot.get("state"),
+            "baseline_per_request": controller_snapshot.get("baseline_per_request"),
+            "epoch": self.repacker.epoch,
+            "observations": report.get("observations"),
+            "cost_per_request": report.get("evaluated_cost_per_request"),
+            "projected_cost_per_request": report.get("projected_cost_per_request"),
+            "staging_cost_estimate": report.get("staging_cost_estimate"),
+        }
+        self.decision_log.append(record)
+        self._m_decisions.labels(verdict).inc()
+        self._emit_decision(record)
+
+    def _adaptive_cycle_inner(self, **plan_options: Any) -> dict[str, Any]:
         controller = self.controller
         assert controller is not None
         with self.coordinator.shared():
@@ -898,6 +1154,7 @@ class VersionStoreService:
             use_workload=True,
             half_life=self.workload_log.half_life,
             gate=gate,
+            mode="adaptive",
             **plan_options,
         )
         fired = bool(plan_report.get("applied"))
@@ -998,7 +1255,7 @@ class VersionStoreService:
 
     def _auto_repack_worker(self) -> None:
         try:
-            report = self.repack(use_workload=True)
+            report = self.repack(use_workload=True, mode="budget")
             after = report.get("expected_cost_after", {}).get("per_request", 0.0)
             with self._state_lock:
                 self.stats_counters.auto_repacks += 1

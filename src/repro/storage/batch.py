@@ -50,6 +50,7 @@ from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
+from ..obs.metrics import NULL_INSTRUMENT
 from .concurrency import StripedLockManager
 from .materializer import LRUPayloadCache, replay_chain
 from .objects import ObjectStore, StoredObject
@@ -215,6 +216,59 @@ class BatchMaterializer:
         self.lock_manager = lock_manager
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
+        # Live instruments replace these no-ops when bind_metrics() runs.
+        self._metrics_on = False
+        self._m_deltas = NULL_INSTRUMENT
+        self._m_bytes = NULL_INSTRUMENT
+        self._m_warm_error = NULL_INSTRUMENT
+
+    def bind_metrics(self, registry) -> None:
+        """Attach materializer counters and scrape-time cache gauges.
+
+        Hot-path increments stay cheap (one pre-bound counter each);
+        cache hit/miss/eviction numbers are copied from the cache's own
+        counters by a collector at scrape time, so cache operations pay
+        nothing at all.
+        """
+        self._metrics_on = bool(getattr(registry, "enabled", True))
+        self._m_deltas = registry.counter(
+            "repro_materialize_deltas_total",
+            "Delta applications performed by the materializer.",
+        )
+        self._m_bytes = registry.counter(
+            "repro_materialize_bytes_total",
+            "Recreation cost (payload units) actually paid materializing.",
+        )
+        self._m_warm_error = registry.histogram(
+            "repro_warm_cost_error",
+            "Relative error of the warm cost model: |predicted - actual| "
+            "/ max(predicted, actual, 1) per single checkout.",
+            buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+        )
+        hits = registry.gauge("repro_cache_hits", "Payload cache hits (lifetime).")
+        misses = registry.gauge(
+            "repro_cache_misses", "Payload cache misses (lifetime)."
+        )
+        evictions = registry.gauge(
+            "repro_cache_evictions",
+            "Payload cache evictions by reason (lifetime).",
+            ("reason",),
+        )
+        cost_ev = evictions.labels("cost")
+        lru_ev = evictions.labels("lru")
+        entries = registry.gauge("repro_cache_entries", "Payload cache entries.")
+        capacity = registry.gauge("repro_cache_capacity", "Payload cache capacity.")
+        cache = self.cache
+
+        def collect(_registry) -> None:
+            hits.set(cache.hits)
+            misses.set(cache.misses)
+            cost_ev.set(cache.cost_evictions)
+            lru_ev.set(cache.lru_evictions)
+            entries.set(len(cache))
+            capacity.set(cache.capacity)
+
+        registry.register_collector(collect)
 
     def _marginal_payload_cost(self, object_id: str) -> float | None:
         """Marginal recreation cost of one cached payload (eviction rank).
@@ -311,9 +365,24 @@ class BatchMaterializer:
         instead of one HTTP exchange per object — and warm repeats (chain
         metadata indexed, payloads cached) perform no exchange at all.
         """
+        predicted = None
+        if self._metrics_on:
+            # Price the chain against the current cache *before* the replay
+            # warms it — dictionary walks only, no payload touched.
+            try:
+                predicted = self.warm_chain_cost(object_id).phi
+            except ObjectNotFoundError:
+                predicted = None
         if getattr(self.store.backend, "follows_chains", False):
-            return self._materialize_remote(object_id)
-        return self._materialize_chain(object_id, self.store.chain_ids(object_id))
+            item = self._materialize_remote(object_id)
+        else:
+            item = self._materialize_chain(object_id, self.store.chain_ids(object_id))
+        if predicted is not None:
+            actual = item.recreation_cost
+            self._m_warm_error.observe(
+                abs(predicted - actual) / max(predicted, actual, 1.0)
+            )
+        return item
 
     def _materialize_remote(self, object_id: str) -> BatchItem:
         """Segment-batched replay against a chain-following remote backend."""
@@ -588,6 +657,10 @@ class BatchMaterializer:
             for child in reversed(children.get(oid, [])):
                 stack.append((child, payload))
 
+        if self._metrics_on:
+            self._m_deltas.inc(sum(1 for v in node_is_delta_replay.values() if v))
+            self._m_bytes.inc(sum(node_cost.values()))
+
         charged: set[str] = set()
         materialized: dict[str, BatchItem] = {}
         for object_id, chain_ids in chains.items():
@@ -630,6 +703,9 @@ class BatchMaterializer:
             chain_ids, fetch if fetch is not None else self.store.get,
             self.cache, self.encoder,
         )
+        if self._metrics_on:
+            self._m_deltas.inc(deltas_applied)
+            self._m_bytes.inc(paid)
         return BatchItem(
             key=object_id,
             object_id=object_id,

@@ -109,7 +109,14 @@ CREATE TABLE IF NOT EXISTS objects (
     key   TEXT PRIMARY KEY,
     value BLOB NOT NULL
 );
+CREATE TABLE IF NOT EXISTS repack_decisions (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    record TEXT NOT NULL
+);
 """
+
+#: Rows kept in ``repack_decisions`` before the oldest are trimmed.
+_DECISION_RETENTION = 4096
 
 #: Seeded ``meta`` rows (INSERT OR IGNORE — only the first opener wins).
 _META_DEFAULTS = {
@@ -726,6 +733,44 @@ class MetadataCatalog:
         except ValueError:  # pragma: no cover - a torn row is a fresh start
             return None
         return state if isinstance(state, dict) else None
+
+    # ------------------------------------------------------------------ #
+    # repack decision log
+    # ------------------------------------------------------------------ #
+    def append_repack_decision(self, record: Mapping[str, Any]) -> None:
+        """Persist one structured repack decision record.
+
+        Retention is bounded: once the table exceeds ``_DECISION_RETENTION``
+        rows the oldest are trimmed, so a long-lived store cannot grow the
+        catalog without bound from evaluate cycles alone.
+        """
+        payload = json.dumps(dict(record), default=str, sort_keys=True)
+        with self._write() as connection:
+            connection.execute(
+                "INSERT INTO repack_decisions (record) VALUES (?)", (payload,)
+            )
+            connection.execute(
+                "DELETE FROM repack_decisions WHERE id <= ("
+                "SELECT MAX(id) FROM repack_decisions) - ?",
+                (_DECISION_RETENTION,),
+            )
+
+    def repack_decisions(self, limit: int = 256) -> list[dict[str, Any]]:
+        """The most recent persisted decision records, oldest first."""
+        with self._read() as connection:
+            rows = connection.execute(
+                "SELECT record FROM repack_decisions ORDER BY id DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        records: list[dict[str, Any]] = []
+        for (raw,) in reversed(rows):
+            try:
+                record = json.loads(raw)
+            except ValueError:  # pragma: no cover - a torn row is skipped
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MetadataCatalog path={self.path!r} epoch={self.epoch()}>"

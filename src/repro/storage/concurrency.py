@@ -30,9 +30,12 @@ deadlock-free.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, Optional
+
+from ..obs.metrics import NULL_INSTRUMENT
 
 __all__ = ["StripedLockManager", "EpochCoordinator"]
 
@@ -51,6 +54,19 @@ class StripedLockManager:
             raise ValueError("a lock manager needs at least one stripe")
         self.num_stripes = int(num_stripes)
         self._locks = [threading.RLock() for _ in range(self.num_stripes)]
+        self._timed = False
+        self._wait_metric = NULL_INSTRUMENT
+
+    def bind_metrics(self, registry) -> None:
+        """Record stripe-lock wait time into *registry* on every acquire."""
+        if not getattr(registry, "enabled", False):
+            return
+        self._wait_metric = registry.histogram(
+            "repro_lock_wait_seconds",
+            "Time spent blocked acquiring a serving-layer lock.",
+            ("lock",),
+        ).labels("chain_stripe")
+        self._timed = True
 
     def stripe_for(self, key: str) -> int:
         """Index of the stripe responsible for ``key`` (stable per run)."""
@@ -61,11 +77,30 @@ class StripedLockManager:
         return self._locks[self.stripe_for(key)]
 
     @contextmanager
-    def holding(self, key: str) -> Iterator[None]:
-        """Context manager: hold ``key``'s stripe lock for the block."""
+    def holding(
+        self, key: str, observer: Optional[Callable[[float], None]] = None
+    ) -> Iterator[None]:
+        """Context manager: hold ``key``'s stripe lock for the block.
+
+        When metrics are bound (or a per-request *observer* is supplied,
+        e.g. a trace span's ``add_lock_wait``), the time spent blocked
+        before entry is measured; otherwise the acquire is untimed so the
+        disabled path costs one boolean check.
+        """
         lock = self.lock_for(key)
-        with lock:
+        if self._timed or observer is not None:
+            started = time.perf_counter()
+            lock.acquire()
+            waited = time.perf_counter() - started
+            self._wait_metric.observe(waited)
+            if observer is not None:
+                observer(waited)
+        else:
+            lock.acquire()
+        try:
             yield
+        finally:
+            lock.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<StripedLockManager stripes={self.num_stripes}>"
@@ -93,15 +128,39 @@ class EpochCoordinator:
         self._writer = False
         self._writers_waiting = 0
         self._exclusive_epochs = 0
+        self._timed = False
+        self._shared_wait = NULL_INSTRUMENT
+        self._exclusive_wait = NULL_INSTRUMENT
+        self._exclusive_hold = NULL_INSTRUMENT
+
+    def bind_metrics(self, registry) -> None:
+        """Record coordinator wait and barrier-hold time into *registry*."""
+        if not getattr(registry, "enabled", False):
+            return
+        waits = registry.histogram(
+            "repro_lock_wait_seconds",
+            "Time spent blocked acquiring a serving-layer lock.",
+            ("lock",),
+        )
+        self._shared_wait = waits.labels("coordinator_shared")
+        self._exclusive_wait = waits.labels("coordinator_exclusive")
+        self._exclusive_hold = registry.histogram(
+            "repro_exclusive_barrier_seconds",
+            "Wall time the exclusive barrier was held (commits, swaps).",
+        )
+        self._timed = True
 
     # ------------------------------------------------------------------ #
     # shared (read) side
     # ------------------------------------------------------------------ #
     def acquire_shared(self) -> None:
+        started = time.perf_counter() if self._timed else 0.0
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if self._timed:
+            self._shared_wait.observe(time.perf_counter() - started)
 
     def release_shared(self) -> None:
         with self._cond:
@@ -122,6 +181,7 @@ class EpochCoordinator:
     # exclusive (write) side
     # ------------------------------------------------------------------ #
     def acquire_exclusive(self) -> None:
+        started = time.perf_counter() if self._timed else 0.0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -130,8 +190,16 @@ class EpochCoordinator:
                 self._writer = True
             finally:
                 self._writers_waiting -= 1
+        if self._timed:
+            now = time.perf_counter()
+            self._exclusive_wait.observe(now - started)
+            self._exclusive_acquired = now
 
     def release_exclusive(self) -> None:
+        if self._timed:
+            acquired = getattr(self, "_exclusive_acquired", None)
+            if acquired is not None:
+                self._exclusive_hold.observe(time.perf_counter() - acquired)
         with self._cond:
             self._writer = False
             self._exclusive_epochs += 1

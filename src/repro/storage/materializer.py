@@ -20,6 +20,7 @@ from typing import Any, Callable, Sequence
 
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
+from ..obs.metrics import log_once
 from .objects import ObjectStore, StoredObject
 
 __all__ = ["Materializer", "MaterializationResult", "LRUPayloadCache", "replay_chain"]
@@ -67,6 +68,7 @@ class LRUPayloadCache:
         self.hits = 0
         self.misses = 0
         self.cost_evictions = 0
+        self.lru_evictions = 0
 
     def get(self, key: str) -> Any:
         """The cached payload for ``key``, or the module-level miss sentinel."""
@@ -89,6 +91,7 @@ class LRUPayloadCache:
             if self.victim_cost is None:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
+                    self.lru_evictions += 1
                 return
         # Cost-ranked eviction prices candidates *outside* the lock: each
         # victim_cost call walks chain metadata, and serializing every
@@ -120,8 +123,17 @@ class LRUPayloadCache:
             for index, key in enumerate(candidates):
                 try:
                     cost = self.victim_cost(key)  # type: ignore[misc]
-                except Exception:
-                    cost = None  # scoring must never break a put
+                except Exception as exc:
+                    # Scoring must never break a put, but a broken scorer
+                    # silently degrades the cache to LRU — say so once.
+                    cost = None
+                    log_once(
+                        "cache:victim_cost",
+                        "victim_cost scoring failed (%s: %s); treating the "
+                        "entry as unpriceable",
+                        type(exc).__name__,
+                        exc,
+                    )
                 # Unpriceable entries (dead-epoch leftovers) rank below
                 # every priced one; ties go to the least recently used.
                 rank = (0, 0.0, index) if cost is None else (1, float(cost), index)
@@ -135,12 +147,15 @@ class LRUPayloadCache:
                 if victim in self._entries and victim != mru:
                     if victim != next(iter(self._entries)):
                         self.cost_evictions += 1
+                    else:
+                        self.lru_evictions += 1
                     del self._entries[victim]
                     if len(self._entries) <= self.capacity:
                         return
         with self._lock:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.lru_evictions += 1
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

@@ -41,6 +41,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..delta.base import Delta, payload_size
 from ..exceptions import ObjectNotFoundError
+from ..obs.metrics import NULL_INSTRUMENT, log_once
 from .backends import FilesystemBackend, StorageBackend, open_backend
 
 __all__ = ["StoredObject", "ObjectStore", "ObjectMeta", "ChainStats"]
@@ -136,6 +137,31 @@ class ObjectStore:
         self._meta: dict[str, ObjectMeta] = {}
         self._chain_stats: dict[str, ChainStats] = {}
         self._index_lock = threading.RLock()
+        # Metric instruments default to shared no-ops until bind_metrics()
+        # swaps in live counters, so an unbound store pays one no-op call.
+        self._op_get = NULL_INSTRUMENT
+        self._op_put = NULL_INSTRUMENT
+        self._op_get_many = NULL_INSTRUMENT
+        self._op_delete = NULL_INSTRUMENT
+        self._op_errors = NULL_INSTRUMENT
+
+    def bind_metrics(self, registry) -> None:
+        """Attach per-scheme backend op/error counters from *registry*."""
+        scheme = getattr(self.backend, "scheme", "unknown")
+        ops = registry.counter(
+            "repro_backend_ops_total",
+            "Backend operations by scheme and operation.",
+            ("scheme", "op"),
+        )
+        self._op_get = ops.labels(scheme, "get")
+        self._op_put = ops.labels(scheme, "put")
+        self._op_get_many = ops.labels(scheme, "get_many")
+        self._op_delete = ops.labels(scheme, "delete")
+        self._op_errors = registry.counter(
+            "repro_backend_errors_total",
+            "Backend read/write errors (misses excluded) by scheme.",
+            ("scheme",),
+        ).labels(scheme)
 
     # ------------------------------------------------------------------ #
     # writing
@@ -162,6 +188,7 @@ class ObjectStore:
 
     def remove(self, object_id: str) -> None:
         """Remove an object (no error if absent).  Used by the re-packer."""
+        self._op_delete.inc()
         self.backend.delete(object_id)
         with self._index_lock:
             if self._meta.pop(object_id, None) is not None:
@@ -176,6 +203,7 @@ class ObjectStore:
     # ------------------------------------------------------------------ #
     def get(self, object_id: str) -> StoredObject:
         """Fetch an object by id (recording its index entry as a side effect)."""
+        self._op_get.inc()
         try:
             obj = self.backend.get(object_id)
         except KeyError:
@@ -183,6 +211,18 @@ class ObjectStore:
                 f"object {object_id!r} is not in the store (backend "
                 f"{self.backend.spec()!r})"
             ) from None
+        except Exception as exc:
+            # A miss is a KeyError; anything else is a real backend failure
+            # worth a counter and (once) a log line before it propagates.
+            self._op_errors.inc()
+            log_once(
+                "objects:get:%s" % self.backend.spec(),
+                "backend read failed on %s: %s: %s",
+                self.backend.spec(),
+                type(exc).__name__,
+                exc,
+            )
+            raise
         self._note(obj)
         return obj
 
@@ -242,6 +282,7 @@ class ObjectStore:
         Local backends loop over single gets; a chain-following remote
         backend answers the whole request in one round trip.
         """
+        self._op_get_many.inc()
         found = self.backend.get_many(object_ids)
         self.note_objects(found.values())
         return found
@@ -476,6 +517,7 @@ class ObjectStore:
         return hashlib.sha256(data).hexdigest()
 
     def _store(self, obj: StoredObject) -> None:
+        self._op_put.inc()
         try:
             self.backend.put(obj.object_id, obj)
         except BaseException:
@@ -484,10 +526,23 @@ class ObjectStore:
             # content-addressed key must either hold the complete object or
             # nothing: scrub it so a failed write can never be served later
             # as a corrupt payload, and never index what was not stored.
+            self._op_errors.inc()
             try:
                 self.backend.delete(obj.object_id)
-            except Exception:
-                pass  # the original failure is the one worth raising
+            except Exception as scrub_exc:
+                # The original failure is the one worth raising, but a
+                # failed scrub means a possibly-torn key survived — that
+                # must not stay invisible.
+                self._op_errors.inc()
+                log_once(
+                    "objects:scrub:%s" % self.backend.spec(),
+                    "scrubbing a failed put of %s on %s also failed (%s: %s); "
+                    "the key may hold a torn value",
+                    obj.object_id,
+                    self.backend.spec(),
+                    type(scrub_exc).__name__,
+                    scrub_exc,
+                )
             raise
         self._note(obj)
 
