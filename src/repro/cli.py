@@ -659,10 +659,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .obs import JsonLogSink
 
         log_sink = JsonLogSink(args.log_json)
+    cache_tier_dir = args.cache_tier_dir
+    if cache_tier_dir is None and args.cache_tier_bytes > 0:
+        cache_tier_dir = os.path.join(args.repository, "cache-tier")
     service = VersionStoreService(
         repo,
         cache_size=args.cache_size,
         strategy=args.strategy,
+        cache_admission=args.cache_admission,
+        cache_tier_dir=cache_tier_dir,
+        cache_tier_bytes=args.cache_tier_bytes,
         # Persist the state file after every commit so a crash never loses
         # acknowledged versions (objects are already on disk by then).
         on_commit=lambda repository: save_repository(repository, args.repository),
@@ -824,6 +830,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dfs", "lru"),
         default="dfs",
         help="batch scheduling strategy for checkout_many",
+    )
+    serve.add_argument(
+        "--cache-admission",
+        choices=("always", "cost"),
+        default="always",
+        help="warm-cache admission policy: 'cost' admits a payload only "
+        "when its marginal recreation cost exceeds the cheapest sampled "
+        "victim's, so cheap-to-rebuild entries never displace expensive "
+        "ones (default: always)",
+    )
+    serve.add_argument(
+        "--cache-tier-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="enable a compressed on-disk second cache tier of up to N "
+        "bytes; evicted-from-memory payloads spill there and are promoted "
+        "back on hit (default 0 = disabled)",
+    )
+    serve.add_argument(
+        "--cache-tier-dir",
+        metavar="PATH",
+        default=None,
+        help="directory for the on-disk cache tier (default: "
+        "REPOSITORY/cache-tier when --cache-tier-bytes is set); scrubbed "
+        "on startup, safe to delete at rest",
     )
     serve.add_argument(
         "--workers",

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 import pickle
-from typing import Any, Iterator, Sequence
+import random
+import time
+from typing import Any, Callable, Iterator, Sequence
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
@@ -32,6 +34,12 @@ __all__ = [
     "ServiceClient",
     "RemoteServiceError",
 ]
+
+#: Total attempts (first try included) for idempotent exchanges.
+_RETRY_ATTEMPTS = 3
+#: Exponential backoff: 0.05s, 0.1s, ... capped, each scaled by jitter.
+_RETRY_BASE_DELAY = 0.05
+_RETRY_MAX_DELAY = 2.0
 
 
 class RemoteServiceError(RepositoryError):
@@ -52,6 +60,44 @@ def _http(
         req.add_header("Content-Type", content_type)
     with urlrequest.urlopen(req, timeout=timeout) as response:
         return response.read()
+
+
+def _http_idempotent(
+    method: str,
+    url: str,
+    *,
+    data: bytes | None = None,
+    content_type: str | None = None,
+    timeout: float = 30.0,
+    attempts: int = _RETRY_ATTEMPTS,
+    on_retry: Callable[[], None] | None = None,
+) -> bytes:
+    """:func:`_http` with bounded retry, for *idempotent* exchanges only.
+
+    Only transport-level failures are retried — the connection never
+    reached a server that processed the request, so repeating it is safe
+    and usually rides out a restart or a dropped socket.  ``HTTPError``
+    (a subclass of ``URLError``, but the server *did* answer) is re-raised
+    immediately: a 4xx/5xx would come back identical on every attempt.
+    Backoff is exponential with jitter so a fleet of clients does not
+    hammer a recovering server in lockstep.
+    """
+    attempts = max(1, int(attempts))
+    for attempt in range(1, attempts + 1):
+        try:
+            return _http(
+                method, url, data=data, content_type=content_type, timeout=timeout
+            )
+        except urlerror.HTTPError:
+            raise
+        except (urlerror.URLError, ConnectionError, TimeoutError):
+            if attempt >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry()
+            delay = min(_RETRY_MAX_DELAY, _RETRY_BASE_DELAY * (2 ** (attempt - 1)))
+            time.sleep(delay * (0.5 + random.random() / 2))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class RemoteBackend(StorageBackend):
@@ -76,11 +122,27 @@ class RemoteBackend(StorageBackend):
             base_url = f"http://{base_url}"
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Transport-level retries performed on idempotent reads.
+        self.retries = 0
+        self._m_retries: Any = None
 
     @classmethod
     def from_spec(cls, path: str) -> "RemoteBackend":
         """Open ``http://HOST:PORT`` (the part after ``http://``)."""
         return cls(path)
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Attach the retry counter (the object store forwards its registry)."""
+        self._m_retries = registry.counter(
+            "repro_remote_retries_total",
+            "Transport-level retries of idempotent remote requests, by client.",
+            ("client",),
+        ).labels("backend")
+
+    def _note_retry(self) -> None:
+        self.retries += 1
+        if self._m_retries is not None:
+            self._m_retries.inc()
 
     # -- StorageBackend -------------------------------------------------- #
     def put(self, key: str, value: Any) -> None:
@@ -112,12 +174,15 @@ class RemoteBackend(StorageBackend):
             {"keys": list(keys), "follow_bases": bool(follow_bases)}
         ).encode("utf-8")
         try:
-            raw = _http(
+            # POST by shape, read by semantics: multiget mutates nothing,
+            # so it retries like the GET paths.
+            raw = _http_idempotent(
                 "POST",
                 url,
                 data=body,
                 content_type="application/json",
                 timeout=self.timeout,
+                on_retry=self._note_retry,
             )
         except urlerror.HTTPError as error:
             raise RemoteServiceError(
@@ -153,6 +218,20 @@ class RemoteBackend(StorageBackend):
         if key is not None:
             url = f"{url}/{key}"
         try:
+            # Reads (GET/HEAD) retry through transport failures; writes
+            # (PUT/DELETE) stay single-shot — a repeated write that half
+            # landed the first time is the caller's call to make.
+            if method in ("GET", "HEAD"):
+                return _http_idempotent(
+                    method,
+                    url,
+                    data=data,
+                    content_type=(
+                        "application/octet-stream" if data is not None else None
+                    ),
+                    timeout=self.timeout,
+                    on_retry=self._note_retry,
+                )
             return _http(
                 method,
                 url,
@@ -198,6 +277,22 @@ class ServiceClient:
             base_url = f"http://{base_url}"
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Transport-level retries performed on idempotent reads.
+        self.retries = 0
+        self._m_retries: Any = None
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Attach the retry counter to *registry*."""
+        self._m_retries = registry.counter(
+            "repro_remote_retries_total",
+            "Transport-level retries of idempotent remote requests, by client.",
+            ("client",),
+        ).labels("service")
+
+    def _note_retry(self) -> None:
+        self.retries += 1
+        if self._m_retries is not None:
+            self._m_retries.inc()
 
     # -- service calls --------------------------------------------------- #
     def healthz(self) -> dict[str, Any]:
@@ -234,7 +329,14 @@ class ServiceClient:
         """The server's ``GET /metrics`` Prometheus text exposition, raw."""
         url = f"{self.base_url}/metrics"
         try:
-            raw = _http("GET", url, data=None, content_type=None, timeout=self.timeout)
+            raw = _http_idempotent(
+                "GET",
+                url,
+                data=None,
+                content_type=None,
+                timeout=self.timeout,
+                on_retry=self._note_retry,
+            )
         except urlerror.HTTPError as error:
             raise RemoteServiceError(
                 f"GET {url} failed: HTTP {error.code}"
@@ -257,33 +359,66 @@ class ServiceClient:
 
     # -- internals ------------------------------------------------------- #
     def _get(self, path: str) -> dict[str, Any]:
-        return self._json("GET", path, None)
+        return self._json("GET", path, None, retry=True)
 
     def _post(self, path: str, body: dict[str, Any]) -> dict[str, Any]:
+        # POSTs are single-shot: commit / repack are not idempotent, and a
+        # request the server may have half-processed must not be replayed.
         return self._json("POST", path, json.dumps(body).encode("utf-8"))
 
-    def _json(self, method: str, path: str, data: bytes | None) -> dict[str, Any]:
+    def _json(
+        self, method: str, path: str, data: bytes | None, *, retry: bool = False
+    ) -> dict[str, Any]:
         url = f"{self.base_url}{path}"
+        content_type = "application/json" if data is not None else None
         try:
-            raw = _http(
-                method,
-                url,
-                data=data,
-                content_type="application/json" if data is not None else None,
-                timeout=self.timeout,
-            )
+            if retry:
+                raw = _http_idempotent(
+                    method,
+                    url,
+                    data=data,
+                    content_type=content_type,
+                    timeout=self.timeout,
+                    on_retry=self._note_retry,
+                )
+            else:
+                raw = _http(
+                    method,
+                    url,
+                    data=data,
+                    content_type=content_type,
+                    timeout=self.timeout,
+                )
         except urlerror.HTTPError as error:
-            detail = ""
-            try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
-            except Exception:
-                pass
             raise RemoteServiceError(
                 f"{method} {url} failed: HTTP {error.code}"
-                + (f" — {detail}" if detail else "")
+                + _error_detail(error)
             ) from error
         except urlerror.URLError as error:
             raise RemoteServiceError(
                 f"cannot reach service at {self.base_url}: {error.reason}"
             ) from error
         return json.loads(raw.decode("utf-8"))
+
+
+def _error_detail(error: urlerror.HTTPError) -> str:
+    """Best-effort ``" — detail"`` suffix from an HTTP error body.
+
+    Prefers the service's ``{"error": ...}`` JSON shape; a non-JSON body
+    (a proxy's HTML page, a traceback) is kept as a truncated snippet
+    instead of being silently discarded — an opaque ``HTTP 502`` with the
+    actual complaint thrown away is what made these failures undebuggable.
+    """
+    try:
+        body = error.read()
+    except Exception:
+        return ""
+    if not body:
+        return ""
+    try:
+        detail = str(json.loads(body.decode("utf-8")).get("error", ""))
+    except Exception:
+        detail = body.decode("utf-8", "replace").strip()
+        if len(detail) > 200:
+            detail = detail[:200] + "…"
+    return f" — {detail}" if detail else ""

@@ -65,13 +65,14 @@ from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
 from ..exceptions import ReproError, SnapshotConflictError
 from ..obs import DecisionLog, JsonLogSink, MetricsRegistry, Trace
-from ..obs.metrics import default_registry_from_env
+from ..obs.metrics import default_registry_from_env, log_once
 from ..obs.trace import NULL_TRACE
 from ..storage.batch import BatchMaterializer, BatchResult
 from ..storage.concurrency import EpochCoordinator, StripedLockManager
 from ..storage.repack import (
     AdaptiveRepackController,
     OnlineRepacker,
+    StagingCostCalibration,
     estimate_repack_cost,
     expected_workload_cost,
     expected_workload_costs,
@@ -243,6 +244,9 @@ class VersionStoreService:
         auto_repack_interval: int = 32,
         adaptive_repack: bool = False,
         repack_horizon: float = 1000.0,
+        cache_admission: str = "always",
+        cache_tier_dir: str | None = None,
+        cache_tier_bytes: int = 0,
         metrics: MetricsRegistry | None = None,
         log_sink: JsonLogSink | None = None,
     ) -> None:
@@ -262,6 +266,9 @@ class VersionStoreService:
             strategy=strategy,
             max_workers=self.max_workers,
             lock_manager=self.chain_locks,
+            admission=cache_admission,
+            spill_dir=cache_tier_dir,
+            spill_bytes=cache_tier_bytes,
         )
         self.stats_counters = ServiceStats()
         self._on_commit = on_commit
@@ -312,6 +319,12 @@ class VersionStoreService:
         # property of the store, not of one process lifetime.
         if self.controller is not None:
             self._restore_controller_state()
+        # The staging-cost calibration learns the ratio between what
+        # `estimate_repack_cost` predicts and what staging actually paid.
+        # Like the controller baseline it is a property of the store, so a
+        # catalog-backed repository restores the learned scale on open.
+        self.staging_calibration = StagingCostCalibration()
+        self._restore_staging_calibration()
         # Observability: a metrics registry (REPRO_METRICS=off selects the
         # no-op null registry), an optional JSON-lines event sink, and a
         # decision log that writes through to the catalog when one exists
@@ -358,8 +371,32 @@ class VersionStoreService:
             "Applied online repacks, by what initiated them.",
             ("mode",),
         )
+        self._m_service_errors = registry.counter(
+            "repro_backend_errors_total",
+            "Backend read/write errors (misses excluded) by scheme.",
+            ("scheme",),
+        ).labels("service")
+        staging = registry.counter(
+            "repro_repack_staging_phi_total",
+            "Repack staging cost in recreation-cost units, estimated vs measured.",
+            ("kind",),
+        )
+        self._m_staging_estimated = staging.labels("estimated")
+        self._m_staging_measured = staging.labels("measured")
+        self._m_staging_seconds = registry.counter(
+            "repro_repack_staging_seconds_total",
+            "Wall-clock seconds spent staging repacks.",
+        )
         if not self._metrics_on:
             return
+        staging_scale = registry.gauge(
+            "repro_repack_staging_scale",
+            "Calibrated scale applied to repack staging-cost estimates.",
+        )
+        phi_rate = registry.gauge(
+            "repro_apply_seconds_per_phi",
+            "Measured wall-clock seconds per unit of recreation cost.",
+        )
         epoch_gauge = registry.gauge("repro_epoch", "Active storage epoch.")
         versions_gauge = registry.gauge(
             "repro_versions", "Versions in the served graph."
@@ -377,6 +414,9 @@ class VersionStoreService:
             versions_gauge.set(len(self.repository))
             objects_gauge.set(len(self.repository.store))
             workload_gauge.set(self.workload_log.total_accesses)
+            staging_scale.set(self.staging_calibration.scale)
+            rate = self.repository.store.seconds_per_phi()
+            phi_rate.set(rate if rate is not None else 0.0)
 
         registry.register_collector(collect)
 
@@ -395,8 +435,43 @@ class VersionStoreService:
         try:
             catalog.save_controller_state(self.controller.state_dict())
         except Exception as error:  # pragma: no cover - persistence best-effort
-            with self._state_lock:
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            self._note_policy_error("controller_persist", error)
+
+    def _restore_staging_calibration(self) -> None:
+        catalog = getattr(self.repository, "catalog", None)
+        if catalog is None:
+            return
+        saved = catalog.load_staging_calibration()
+        if saved:
+            self.staging_calibration.load_state(saved)
+
+    def _persist_staging_calibration(self) -> None:
+        catalog = getattr(self.repository, "catalog", None)
+        if catalog is None:
+            return
+        try:
+            catalog.save_staging_calibration(self.staging_calibration.state_dict())
+        except Exception as error:  # pragma: no cover - persistence best-effort
+            self._note_policy_error("calibration_persist", error)
+
+    def _note_policy_error(self, site: str, error: BaseException) -> None:
+        """Record a background-policy failure without losing it.
+
+        Previously these handlers only stashed the message in
+        ``_auto_repack_error`` (visible only to a stats caller who thought
+        to look); now every one also logs once per site and counts on the
+        shared backend-error counter so dashboards see the failure.
+        """
+        log_once(
+            f"service:{site}",
+            "service background task %s failed (%s: %s)",
+            site,
+            type(error).__name__,
+            error,
+        )
+        self._m_service_errors.inc()
+        with self._state_lock:
+            self._auto_repack_error = f"{type(error).__name__}: {error}"
 
     # ------------------------------------------------------------------ #
     # writes
@@ -674,13 +749,21 @@ class VersionStoreService:
         with self.coordinator.shared():
             with self._state_lock:
                 serving = self.stats_counters.snapshot()
+                cache_info = self.materializer.cache_info()
                 serving["cache"] = {
-                    "capacity": self.materializer.cache.capacity,
-                    "entries": len(self.materializer.cache),
-                    "hits": self.materializer.cache.hits,
-                    "misses": self.materializer.cache.misses,
+                    "capacity": cache_info["capacity"],
+                    "entries": cache_info["size"],
+                    "hits": cache_info["hits"],
+                    "misses": cache_info["misses"],
                     "strategy": self.materializer.strategy,
+                    "admission": cache_info["admission"],
+                    "admission_rejections": cache_info["admission_rejections"],
+                    "eviction": cache_info["eviction"],
+                    "cost_evictions": cache_info["cost_evictions"],
+                    "lru_evictions": cache_info["lru_evictions"],
                 }
+                if "tier" in cache_info:
+                    serving["cache"]["tier"] = cache_info["tier"]
                 auto_error = self._auto_repack_error
             repository = {
                 "versions": len(self.repository),
@@ -714,8 +797,15 @@ class VersionStoreService:
                 "auto_repacks": serving["auto_repacks"],
                 "auto_repack_error": auto_error,
                 "controller": (
-                    self.controller.snapshot() if self.controller is not None else None
+                    dict(
+                        self.controller.snapshot(),
+                        staging_calibration=self.staging_calibration.snapshot(),
+                    )
+                    if self.controller is not None
+                    else None
                 ),
+                "staging_calibration": self.staging_calibration.snapshot(),
+                "measured_cost_model": self.repository.store.measured_cost_model(),
                 "decisions": self.decision_log.tail(20),
                 "decision_seq": self.decision_log.last_seq,
             }
@@ -856,6 +946,15 @@ class VersionStoreService:
                 "per_request"
             ),
         }
+        for key in (
+            "staging_cost_estimate",
+            "staging_cost_calibrated",
+            "staging_cost_paid",
+            "staging_seconds",
+            "staging_scale",
+        ):
+            if key in report:
+                record[key] = report[key]
         if "conflict" in report:
             record["conflict"] = report["conflict"]
         self.decision_log.append(record)
@@ -934,6 +1033,15 @@ class VersionStoreService:
                 report["applied"] = False
                 return report
 
+            # Price staging before paying for it, so the calibration below
+            # can compare prediction to reality.  Index-only walk.
+            with self.coordinator.shared():
+                staging_estimate = estimate_repack_cost(self.repository)
+            report["staging_cost_estimate"] = staging_estimate
+            report["staging_cost_calibrated"] = self.staging_calibration.calibrated(
+                staging_estimate
+            )
+
             with self.repacker.lock:
                 # Phase 1 — stage the new encoding; readers keep serving.
                 staged = self.repacker.rebuild(result.plan)
@@ -972,6 +1080,18 @@ class VersionStoreService:
             report["epoch"] = self.repacker.epoch
             report["expected_cost_after"] = expected_after
             report["applied"] = True
+            # Close the loop: fold what staging actually paid back into the
+            # calibration so the next estimate lands closer to reality.
+            self.staging_calibration.observe(
+                staging_estimate,
+                staged.staging_cost_paid,
+                seconds=staged.staging_seconds,
+            )
+            report["staging_scale"] = self.staging_calibration.scale
+            self._m_staging_estimated.inc(staging_estimate)
+            self._m_staging_measured.inc(staged.staging_cost_paid)
+            self._m_staging_seconds.inc(staged.staging_seconds)
+            self._persist_staging_calibration()
         return report
 
     def prune_epochs(self) -> dict[str, float]:
@@ -1097,6 +1217,8 @@ class VersionStoreService:
             "cost_per_request": report.get("evaluated_cost_per_request"),
             "projected_cost_per_request": report.get("projected_cost_per_request"),
             "staging_cost_estimate": report.get("staging_cost_estimate"),
+            "staging_cost_calibrated": report.get("staging_cost_calibrated"),
+            "staging_scale": self.staging_calibration.scale,
         }
         self.decision_log.append(record)
         self._m_decisions.labels(verdict).inc()
@@ -1144,10 +1266,12 @@ class VersionStoreService:
                 projected = metrics["sum_recreation"] / max(1, len(version_ids))
             with self.coordinator.shared():
                 staging_cost = estimate_repack_cost(self.repository)
+            calibrated = self.staging_calibration.calibrated(staging_cost)
             report["projected_cost_per_request"] = projected
             report["staging_cost_estimate"] = staging_cost
+            report["staging_cost_calibrated"] = calibrated
             return controller.approve(
-                current, projected, staging_cost, frequencies=frequencies
+                current, projected, calibrated, frequencies=frequencies
             )
 
         plan_report = self.repack(
@@ -1178,8 +1302,7 @@ class VersionStoreService:
             with self._state_lock:
                 self._auto_repack_error = None
         except Exception as error:  # pragma: no cover - defensive
-            with self._state_lock:
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            self._note_policy_error("adaptive_worker", error)
         finally:
             with self._state_lock:
                 self._auto_repack_running = False
@@ -1212,8 +1335,7 @@ class VersionStoreService:
                 if self._adaptive_armed:
                     self._auto_repack_running = True
         except Exception as error:  # pragma: no cover - defensive
-            with self._state_lock:
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            self._note_policy_error("auto_repack_check", error)
             return
         if self._adaptive_armed:
             self._start_policy_worker(
@@ -1237,8 +1359,7 @@ class VersionStoreService:
                     return
                 self._auto_repack_running = True
         except Exception as error:
-            with self._state_lock:
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            self._note_policy_error("budget_check", error)
             return
         self._start_policy_worker(self._auto_repack_worker, "repro-auto-repack")
 
@@ -1251,7 +1372,7 @@ class VersionStoreService:
         except Exception as error:  # pragma: no cover - resource exhaustion
             with self._state_lock:
                 self._auto_repack_running = False
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
+            self._note_policy_error("policy_worker_start", error)
 
     def _auto_repack_worker(self) -> None:
         try:
@@ -1267,8 +1388,8 @@ class VersionStoreService:
                     self._auto_repack_suppressed = True
         except Exception as error:  # pragma: no cover - defensive
             with self._state_lock:
-                self._auto_repack_error = f"{type(error).__name__}: {error}"
                 self._auto_repack_suppressed = True
+            self._note_policy_error("budget_worker", error)
         finally:
             with self._state_lock:
                 self._auto_repack_running = False

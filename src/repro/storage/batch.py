@@ -43,6 +43,7 @@ model the optimizers plan against.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -51,8 +52,9 @@ from typing import Any, Callable, Hashable, Mapping, Sequence
 from ..delta.base import DeltaEncoder
 from ..exceptions import ObjectNotFoundError
 from ..obs.metrics import NULL_INSTRUMENT
+from .cache_tiers import TieredPayloadCache
 from .concurrency import StripedLockManager
-from .materializer import LRUPayloadCache, replay_chain
+from .materializer import ADMISSION_POLICIES, LRUPayloadCache, replay_chain
 from .objects import ObjectStore, StoredObject
 
 __all__ = [
@@ -62,6 +64,7 @@ __all__ = [
     "WarmChainCost",
     "STRATEGIES",
     "EVICTION_POLICIES",
+    "ADMISSION_POLICIES",
 ]
 
 
@@ -197,6 +200,9 @@ class BatchMaterializer:
         max_workers: int | None = None,
         lock_manager: StripedLockManager | None = None,
         eviction: str = "cost",
+        admission: str = "always",
+        spill_dir: str | None = None,
+        spill_bytes: int = 0,
     ) -> None:
         if strategy not in STRATEGIES:
             known = ", ".join(STRATEGIES)
@@ -204,14 +210,29 @@ class BatchMaterializer:
         if eviction not in EVICTION_POLICIES:
             known = ", ".join(EVICTION_POLICIES)
             raise ValueError(f"unknown eviction policy {eviction!r} (known: {known})")
+        if admission not in ADMISSION_POLICIES:
+            known = ", ".join(ADMISSION_POLICIES)
+            raise ValueError(f"unknown admission policy {admission!r} (known: {known})")
         self.store = store
         self.encoder = encoder
         self.strategy = strategy
         self.eviction = eviction
-        self.cache = LRUPayloadCache(
-            cache_size,
-            victim_cost=self._marginal_payload_cost if eviction == "cost" else None,
-        )
+        self.admission = admission
+        victim_cost = self._marginal_payload_cost if eviction == "cost" else None
+        if spill_dir is not None and int(spill_bytes) > 0:
+            # Two-tier warm cache: the bounded memory LRU spills through to
+            # a compressed disk tier, so warm capacity scales past RAM.
+            self.cache: LRUPayloadCache = TieredPayloadCache(
+                cache_size,
+                spill_dir=spill_dir,
+                spill_bytes=int(spill_bytes),
+                victim_cost=victim_cost,
+                admission=admission,
+            )
+        else:
+            self.cache = LRUPayloadCache(
+                cache_size, victim_cost=victim_cost, admission=admission
+            )
         self.max_workers = max(1, int(max_workers)) if max_workers else 1
         self.lock_manager = lock_manager
         self._executor: ThreadPoolExecutor | None = None
@@ -258,6 +279,27 @@ class BatchMaterializer:
         lru_ev = evictions.labels("lru")
         entries = registry.gauge("repro_cache_entries", "Payload cache entries.")
         capacity = registry.gauge("repro_cache_capacity", "Payload cache capacity.")
+        rejections = registry.gauge(
+            "repro_cache_admission_rejections",
+            "Payloads refused at cache admission (lifetime).",
+        )
+        tier = registry.gauge(
+            "repro_cache_tier",
+            "Disk spill tier state by field (hits/misses/entries/bytes/"
+            "spills/corruption_drops).",
+            ("field",),
+        )
+        tier_fields = {
+            name: tier.labels(name)
+            for name in (
+                "hits",
+                "misses",
+                "entries",
+                "bytes",
+                "spills",
+                "corruption_drops",
+            )
+        }
         cache = self.cache
 
         def collect(_registry) -> None:
@@ -267,6 +309,15 @@ class BatchMaterializer:
             lru_ev.set(cache.lru_evictions)
             entries.set(len(cache))
             capacity.set(cache.capacity)
+            rejections.set(cache.admission_rejections)
+            disk = getattr(cache, "disk", None)
+            if disk is not None:
+                tier_fields["hits"].set(disk.hits)
+                tier_fields["misses"].set(disk.misses)
+                tier_fields["entries"].set(len(disk))
+                tier_fields["bytes"].set(disk.bytes_used)
+                tier_fields["spills"].set(disk.spills)
+                tier_fields["corruption_drops"].set(disk.corruption_drops)
 
         registry.register_collector(collect)
 
@@ -451,6 +502,36 @@ class BatchMaterializer:
             cached_depth=0,
             chain_length=tip.length,
         )
+
+    def cache_info(self) -> dict[str, object]:
+        """Counters of the warm cache, one flat dict per tier for stats."""
+        cache = self.cache
+        info: dict[str, object] = {
+            "size": len(cache),
+            "capacity": cache.capacity,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "cost_evictions": cache.cost_evictions,
+            "lru_evictions": cache.lru_evictions,
+            "admission": self.admission,
+            "admission_rejections": cache.admission_rejections,
+            "eviction": self.eviction,
+        }
+        disk = getattr(cache, "disk", None)
+        if disk is not None:
+            info["tier"] = {
+                "directory": disk.directory,
+                "max_bytes": disk.max_bytes,
+                "bytes_used": disk.bytes_used,
+                "entries": len(disk),
+                "hits": disk.hits,
+                "misses": disk.misses,
+                "spills": disk.spills,
+                "cost_evictions": disk.cost_evictions,
+                "lru_evictions": disk.lru_evictions,
+                "corruption_drops": disk.corruption_drops,
+            }
+        return info
 
     def clear_cache(self) -> None:
         """Drop every cached payload (start the next batch cold).
@@ -637,6 +718,7 @@ class BatchMaterializer:
                 node_is_delta_replay[oid] = False
                 node_cache_hit[oid] = True
             else:
+                started = time.perf_counter()
                 obj = fetch(oid)
                 if not obj.is_delta:
                     payload = obj.payload
@@ -650,6 +732,7 @@ class BatchMaterializer:
                     payload = self.encoder.apply(base_payload, obj.payload)
                     node_cost[oid] = obj.payload.recreation_cost
                     node_is_delta_replay[oid] = True
+                self.store.observe_apply(oid, time.perf_counter() - started)
                 node_cache_hit[oid] = False
                 self.cache.put(oid, payload)
             if oid in requested:
@@ -701,7 +784,7 @@ class BatchMaterializer:
     ) -> BatchItem:
         payload, paid, deltas_applied, cache_hits = replay_chain(
             chain_ids, fetch if fetch is not None else self.store.get,
-            self.cache, self.encoder,
+            self.cache, self.encoder, observe=self.store.observe_apply,
         )
         if self._metrics_on:
             self._m_deltas.inc(deltas_applied)

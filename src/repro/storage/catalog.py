@@ -734,6 +734,22 @@ class MetadataCatalog:
             return None
         return state if isinstance(state, dict) else None
 
+    def save_staging_calibration(self, state: Mapping[str, Any]) -> None:
+        """Persist the staging-cost calibration's fitted state."""
+        with self._write() as connection:
+            self._set_meta(connection, "staging_calibration", json.dumps(dict(state)))
+
+    def load_staging_calibration(self) -> dict[str, Any] | None:
+        """The persisted calibration state, or ``None`` when never saved."""
+        raw = self._meta(self._connection(), "staging_calibration")
+        if not raw:
+            return None
+        try:
+            state = json.loads(raw)
+        except ValueError:  # pragma: no cover - a torn row is a fresh start
+            return None
+        return state if isinstance(state, dict) else None
+
     # ------------------------------------------------------------------ #
     # repack decision log
     # ------------------------------------------------------------------ #

@@ -15,6 +15,7 @@ batch engine (:mod:`repro.storage.batch`) key intermediate payloads on.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
@@ -23,9 +24,22 @@ from ..exceptions import ObjectNotFoundError
 from ..obs.metrics import log_once
 from .objects import ObjectStore, StoredObject
 
-__all__ = ["Materializer", "MaterializationResult", "LRUPayloadCache", "replay_chain"]
+__all__ = [
+    "Materializer",
+    "MaterializationResult",
+    "LRUPayloadCache",
+    "replay_chain",
+    "ADMISSION_POLICIES",
+]
 
 _MISS = object()
+
+#: Admission policies understood by :class:`LRUPayloadCache`: ``"always"``
+#: inserts unconditionally (classic LRU behavior), ``"cost"`` refuses a
+#: payload whose marginal rebuild cost is lower than the cheapest victim
+#: it would displace — cheap-to-rebuild payloads never push expensive ones
+#: out of a full cache.
+ADMISSION_POLICIES = ("always", "cost")
 
 
 class LRUPayloadCache:
@@ -46,6 +60,12 @@ class LRUPayloadCache:
     invoked while the cache lock is held; it may take other locks but must
     never call back into this cache except through ``__contains__``.
 
+    **Admission.**  With ``admission="cost"`` (and ``victim_cost`` set),
+    the same ranking is applied at the door: once the cache is full, a
+    payload whose marginal rebuild cost is lower than the cheapest sampled
+    victim's is not inserted at all (counted in ``admission_rejections``)
+    — the entries it would displace are worth more than it is.
+
     Every operation is atomic behind an internal lock: the batch engine's
     union-tree workers and concurrently served checkouts all read and warm
     one shared cache, so ``move_to_end``/eviction must never interleave
@@ -59,16 +79,22 @@ class LRUPayloadCache:
         *,
         victim_cost: Callable[[str], float | None] | None = None,
         eviction_sample: int = 8,
+        admission: str = "always",
     ) -> None:
+        if admission not in ADMISSION_POLICIES:
+            known = ", ".join(ADMISSION_POLICIES)
+            raise ValueError(f"unknown admission policy {admission!r} (known: {known})")
         self.capacity = int(capacity)
         self.victim_cost = victim_cost
         self.eviction_sample = max(1, int(eviction_sample))
+        self.admission = admission
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.cost_evictions = 0
         self.lru_evictions = 0
+        self.admission_rejections = 0
 
     def get(self, key: str) -> Any:
         """The cached payload for ``key``, or the module-level miss sentinel."""
@@ -81,6 +107,8 @@ class LRUPayloadCache:
             return self._entries[key]
 
     def put(self, key: str, payload: Any) -> None:
+        if self._admission_reject(key):
+            return
         with self._lock:
             if self.capacity <= 0:
                 return
@@ -98,6 +126,65 @@ class LRUPayloadCache:
         # over-capacity put of all replay workers behind those walks would
         # undo the per-chain parallelism the cache serves.
         self._evict_by_cost()
+
+    def _admission_reject(self, key: str) -> bool:
+        """True when cost admission refuses to insert ``key``.
+
+        Mirrors the eviction ranking at the door: with the cache full, a
+        candidate whose marginal rebuild cost is *below* the cheapest
+        sampled victim's would immediately become the next eviction choice
+        — inserting it only churns the cold end.  Unpriceable candidates
+        or victims admit (plain LRU behavior), and a cache below capacity
+        admits everything, so admission never starves a warming cache.
+        Pricing happens outside the lock for the same reason eviction
+        pricing does.
+        """
+        if self.admission != "cost" or self.victim_cost is None:
+            return False
+        with self._lock:
+            if (
+                self.capacity <= 0
+                or key in self._entries
+                or len(self._entries) < self.capacity
+            ):
+                return False
+            sample = min(self.eviction_sample, len(self._entries) - 1)
+            candidates = []
+            for existing in self._entries:  # insertion order = LRU order
+                candidates.append(existing)
+                if len(candidates) >= sample:
+                    break
+        if not candidates:
+            return False
+        try:
+            candidate_cost = self.victim_cost(key)
+        except Exception as exc:
+            log_once(
+                "cache:admission_cost",
+                "admission scoring failed (%s: %s); admitting the entry",
+                type(exc).__name__,
+                exc,
+            )
+            return False
+        if candidate_cost is None:
+            return False
+        cheapest: float | None = None
+        for existing in candidates:
+            try:
+                cost = self.victim_cost(existing)
+            except Exception:
+                cost = None
+            if cost is None:
+                # An unpriceable victim (dead-epoch leftover) evicts for
+                # free — displacing it is always worthwhile.
+                return False
+            if cheapest is None or cost < cheapest:
+                cheapest = cost
+        if cheapest is not None and float(candidate_cost) < cheapest:
+            with self._lock:
+                self.admission_rejections += 1
+            return True
+        return False
 
     def _evict_by_cost(self) -> None:
         # Rank the oldest entries only, and never the most recent one: a
@@ -180,6 +267,7 @@ def replay_chain(
     fetch: Callable[[str], StoredObject],
     cache: LRUPayloadCache,
     encoder: DeltaEncoder,
+    observe: Callable[[str, float], None] | None = None,
 ) -> tuple[Any, float, int, int]:
     """Replay one root-first full-object/delta chain through a payload cache.
 
@@ -187,9 +275,12 @@ def replay_chain(
     deltas, parking every intermediate payload in ``cache``.  Objects are
     pulled through ``fetch`` one at a time and only for the replayed
     suffix, so a caller's peak memory stays at one :class:`StoredObject`
-    plus whatever the payload cache holds.  Returns ``(payload, cost_paid,
-    deltas_applied, cache_hits)`` — the single source of truth for chain
-    replay shared by :class:`Materializer` and the batch engine.
+    plus whatever the payload cache holds.  ``observe``, when given, is
+    called with ``(object_id, seconds)`` for every hop actually replayed
+    (fetch + apply wall time) — the feed for the store's measured Δ/Φ
+    model.  Returns ``(payload, cost_paid, deltas_applied, cache_hits)``
+    — the single source of truth for chain replay shared by
+    :class:`Materializer` and the batch engine.
     """
     start_index = 0
     payload: Any = None
@@ -205,6 +296,7 @@ def replay_chain(
     cost_paid = 0.0
     deltas_applied = 0
     for index in range(start_index, len(chain_ids)):
+        started = time.perf_counter() if observe is not None else 0.0
         obj = fetch(chain_ids[index])
         if not obj.is_delta:
             payload = obj.payload
@@ -217,6 +309,8 @@ def replay_chain(
             payload = encoder.apply(payload, obj.payload)
             cost_paid += obj.payload.recreation_cost
             deltas_applied += 1
+        if observe is not None:
+            observe(obj.object_id, time.perf_counter() - started)
         cache.put(obj.object_id, payload)
     return payload, cost_paid, deltas_applied, cache_hits
 

@@ -92,6 +92,20 @@ class ObjectMeta:
         return self.base_id is not None
 
 
+class _MeasuredCost:
+    """Mutable EWMA cell of one object's measured rebuild seconds."""
+
+    __slots__ = ("seconds", "count")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self.count = 1
+
+
+#: EWMA smoothing factor for per-object measured rebuild seconds.
+_MEASURED_ALPHA = 0.2
+
+
 @dataclass(frozen=True)
 class ChainStats:
     """Aggregate pricing of one delta chain, keyed by its tip object.
@@ -136,6 +150,14 @@ class ObjectStore:
         # stats snapshot totals storage.
         self._meta: dict[str, ObjectMeta] = {}
         self._chain_stats: dict[str, ChainStats] = {}
+        # The measured side of the cost index: per-object EWMA of actual
+        # rebuild seconds (fetch + delta apply), recorded by replay paths,
+        # plus running totals that fit a global seconds-per-Φ rate.  Like
+        # the Φ index it is answered with pure dictionary walks.
+        self._observed: dict[str, _MeasuredCost] = {}
+        self._apply_seconds_total = 0.0
+        self._apply_phi_total = 0.0
+        self._apply_observations = 0
         self._index_lock = threading.RLock()
         # Metric instruments default to shared no-ops until bind_metrics()
         # swaps in live counters, so an unbound store pays one no-op call.
@@ -162,6 +184,11 @@ class ObjectStore:
             "Backend read/write errors (misses excluded) by scheme.",
             ("scheme",),
         ).labels(scheme)
+        # Backends with their own instruments (e.g. the remote client's
+        # retry counter) bind to the same registry.
+        binder = getattr(self.backend, "bind_metrics", None)
+        if binder is not None:
+            binder(registry)
 
     # ------------------------------------------------------------------ #
     # writing
@@ -191,6 +218,7 @@ class ObjectStore:
         self._op_delete.inc()
         self.backend.delete(object_id)
         with self._index_lock:
+            self._observed.pop(object_id, None)
             if self._meta.pop(object_id, None) is not None:
                 # Chain totals memoized for *descendant* tips route through
                 # the removed object; there is no reverse index to find
@@ -477,6 +505,98 @@ class ObjectStore:
             if current is not None and cached(current):
                 break
         return cost
+
+    # -- the measured Δ/Φ model ---------------------------------------- #
+
+    def observe_apply(self, object_id: str, seconds: float) -> None:
+        """Record the measured wall seconds one replay hop actually took.
+
+        Fed by the replay paths every time ``object_id`` is fetched and
+        (for deltas) applied, so the index accumulates a *measured* cost
+        model next to the modeled Φ one — maintained incrementally at
+        materialize time, never by scanning payloads.
+        """
+        seconds = float(seconds)
+        if seconds < 0.0:
+            return
+        with self._index_lock:
+            cell = self._observed.get(object_id)
+            if cell is None:
+                self._observed[object_id] = _MeasuredCost(seconds)
+            else:
+                cell.seconds += _MEASURED_ALPHA * (seconds - cell.seconds)
+                cell.count += 1
+            self._apply_observations += 1
+            self._apply_seconds_total += seconds
+            meta = self._meta.get(object_id)
+            if meta is not None:
+                self._apply_phi_total += meta.phi
+
+    def observed_apply_seconds(self, object_id: str) -> float | None:
+        """EWMA of measured rebuild seconds for one object, or ``None``."""
+        with self._index_lock:
+            cell = self._observed.get(object_id)
+            return cell.seconds if cell is not None else None
+
+    def seconds_per_phi(self) -> float | None:
+        """Fitted seconds-per-Φ-unit rate, or ``None`` before any sample.
+
+        The conversion factor between the model's abstract Φ units and
+        measured wall time: total observed rebuild seconds over the total
+        Φ those hops were priced at.
+        """
+        with self._index_lock:
+            if self._apply_phi_total <= 0.0:
+                return None
+            return self._apply_seconds_total / self._apply_phi_total
+
+    def measured_chain_seconds(
+        self, object_id: str, cached: Callable[[str], bool] | None = None
+    ) -> float | None:
+        """Measured rebuild seconds of ``object_id``'s chain — index only.
+
+        Walks base links exactly like :meth:`marginal_chain_cost` (down to
+        the deepest ``cached`` ancestor when given, else to the root),
+        summing each hop's observed EWMA seconds and falling back to
+        ``seconds_per_phi() * phi`` for hops never measured.  Returns
+        ``None`` when a link is unindexed or no rate has been fitted yet.
+        No payload is read.
+        """
+        rate = self.seconds_per_phi()
+        total = 0.0
+        current: str | None = object_id
+        seen: set[str] = set()
+        while current is not None:
+            meta = self.meta(current)
+            if meta is None or current in seen:
+                return None
+            seen.add(current)
+            observed = self.observed_apply_seconds(current)
+            if observed is not None:
+                total += observed
+            elif rate is not None:
+                total += rate * meta.phi
+            else:
+                return None
+            current = meta.base_id
+            if current is not None and cached is not None and cached(current):
+                break
+        return total
+
+    def measured_cost_model(self) -> dict[str, float | int | None]:
+        """Snapshot of the measured model for stats/decision records."""
+        with self._index_lock:
+            rate = (
+                self._apply_seconds_total / self._apply_phi_total
+                if self._apply_phi_total > 0.0
+                else None
+            )
+            return {
+                "observed_objects": len(self._observed),
+                "observations": self._apply_observations,
+                "seconds_total": self._apply_seconds_total,
+                "seconds_per_phi": rate,
+            }
 
     def cached_chain_root(self, object_id: str) -> str | None:
         """``object_id``'s chain root in O(1) from the stats memo, or ``None``.

@@ -29,6 +29,7 @@ jobs surveyed in the paper's Section 6.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -51,6 +52,7 @@ __all__ = [
     "OnlineRepacker",
     "StagedRepack",
     "AdaptiveRepackController",
+    "StagingCostCalibration",
     "plan_order",
     "expected_workload_cost",
     "expected_workload_costs",
@@ -192,6 +194,107 @@ def estimate_repack_cost(repository: "Repository") -> float:
             if meta is not None:
                 total += meta.phi
     return total
+
+
+class StagingCostCalibration:
+    """Fits :func:`estimate_repack_cost` to what staging actually costs.
+
+    The estimate prices phase 1 as one Φ contribution per distinct live
+    object — a model that ignores the staging cache's prefix amortization
+    and any backend latency.  Every completed repack reports the cost its
+    rebuild *actually paid* (and the wall seconds it took); this object
+    maintains an EWMA of the measured/estimated ratio and scales future
+    estimates by it, so the amortization gate converges toward measured
+    reality instead of judging against a fixed model.  Thread-safe; the
+    state round-trips through the catalog like the controller's.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.3,
+        min_scale: float = 0.05,
+        max_scale: float = 20.0,
+    ) -> None:
+        self.alpha = float(alpha)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self._lock = threading.Lock()
+        self.scale = 1.0
+        self.observations = 0
+        self.last_estimated: float | None = None
+        self.last_measured: float | None = None
+        self.last_seconds: float | None = None
+
+    def observe(
+        self,
+        estimated: float,
+        measured: float,
+        *,
+        seconds: float | None = None,
+    ) -> None:
+        """Fold one epoch's (estimated, actually-paid) staging cost pair."""
+        estimated = float(estimated)
+        measured = float(measured)
+        with self._lock:
+            self.last_estimated = estimated
+            self.last_measured = measured
+            self.last_seconds = float(seconds) if seconds is not None else None
+            if estimated <= 0.0 or measured < 0.0:
+                return
+            ratio = min(self.max_scale, max(self.min_scale, measured / estimated))
+            if self.observations == 0:
+                self.scale = ratio
+            else:
+                self.scale += self.alpha * (ratio - self.scale)
+            self.observations += 1
+
+    def calibrated(self, estimate: float) -> float:
+        """``estimate`` scaled by the fitted measured/estimated ratio."""
+        with self._lock:
+            return float(estimate) * self.scale
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable state, persisted in the catalog across restarts."""
+        with self._lock:
+            return {
+                "scale": self.scale,
+                "observations": self.observations,
+                "last_estimated": self.last_estimated,
+                "last_measured": self.last_measured,
+                "last_seconds": self.last_seconds,
+            }
+
+    def load_state(self, state: "Mapping[str, Any] | None") -> None:
+        """Restore :meth:`state_dict` output; ``None`` is a no-op.
+
+        Non-numeric fields (a torn or hand-edited catalog row) are
+        ignored field-by-field — a bad persisted state must never stop a
+        service from starting.
+        """
+        if state is None:
+            return
+        with self._lock:
+            try:
+                scale = float(state.get("scale"))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                scale = 0.0
+            if scale > 0.0:
+                self.scale = min(self.max_scale, max(self.min_scale, scale))
+            try:
+                self.observations = int(state.get("observations") or 0)
+            except (TypeError, ValueError):
+                self.observations = 0
+            for attr in ("last_estimated", "last_measured", "last_seconds"):
+                value = state.get(attr)
+                try:
+                    setattr(self, attr, float(value) if value is not None else None)
+                except (TypeError, ValueError):
+                    setattr(self, attr, None)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready calibration state for the service's ``stats``."""
+        return self.state_dict()
 
 
 class AdaptiveRepackController:
@@ -572,6 +675,11 @@ class StagedRepack:
     #: Catalog snapshot row staged by this rebuild (``None`` when the
     #: repository has no metadata catalog).
     snapshot_id: int | None = None
+    #: Recreation cost (Φ units) the rebuild *actually paid* streaming the
+    #: old encoding — the measured side of :func:`estimate_repack_cost`.
+    staging_cost_paid: float = 0.0
+    #: Wall seconds phase 1 took.
+    staging_seconds: float = 0.0
 
 
 class OnlineRepacker:
@@ -680,15 +788,20 @@ class OnlineRepacker:
         pre_existing = set(repository.store.object_ids())
         new_objects: dict[VersionID, str] = {}
         num_deltas = 0
+        staging_started = time.perf_counter()
+        staging_cost_paid = 0.0
         try:
             for vid in plan_order(plan):
-                payload = old_reader.materialize(old_object_of[vid]).payload
+                item = old_reader.materialize(old_object_of[vid])
+                payload = item.payload
+                staging_cost_paid += item.recreation_cost
                 parent = plan.parent(vid)
                 if parent is ROOT:
                     new_objects[vid] = repository.store.put_full(payload)
                     continue
-                parent_payload = old_reader.materialize(old_object_of[parent]).payload
-                delta = repository.encoder.diff(parent_payload, payload)
+                parent_item = old_reader.materialize(old_object_of[parent])
+                staging_cost_paid += parent_item.recreation_cost
+                delta = repository.encoder.diff(parent_item.payload, payload)
                 new_objects[vid] = repository.store.put_delta(
                     new_objects[parent], delta
                 )
@@ -721,6 +834,8 @@ class OnlineRepacker:
             num_deltas=num_deltas,
             storage_before=storage_before,
             snapshot_id=snapshot_id,
+            staging_cost_paid=staging_cost_paid,
+            staging_seconds=time.perf_counter() - staging_started,
         )
 
     # ------------------------------------------------------------------ #
@@ -770,6 +885,8 @@ class OnlineRepacker:
             "num_versions": float(len(staged.plan)),
             "num_materialized": float(len(staged.plan.materialized_versions())),
             "num_deltas": float(staged.num_deltas),
+            "staging_cost_paid": staged.staging_cost_paid,
+            "staging_seconds": staged.staging_seconds,
             "epoch": float(self.epoch),
         }
 
@@ -809,6 +926,8 @@ class OnlineRepacker:
         # epoch change.
         repository.sync(force=True)
         report = dict(stats)
+        report["staging_cost_paid"] = staged.staging_cost_paid
+        report["staging_seconds"] = staged.staging_seconds
         report["epoch"] = float(new_epoch)
         report["snapshot_id"] = float(staged.snapshot_id)
         return report

@@ -1,0 +1,142 @@
+"""The bench regression gate: BENCH_*.json medians vs committed baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    compare_documents,
+    main,
+    median_of,
+)
+from repro.bench.results import bench_document
+
+
+def serve_doc(warm_deltas, cost_error=0.05, tiered_deltas=10.0, hit_rate=0.9):
+    return bench_document(
+        "serve",
+        {"seed": 0},
+        {
+            "serve_warm_vs_cold": [
+                {"scenario": "LC", "warm_deltas": warm_deltas, "cold_deltas": 500.0},
+                {"scenario": "DC", "warm_deltas": warm_deltas, "cold_deltas": 400.0},
+            ],
+            "warm_pricing": [
+                {"scenario": "LC", "cost_rel_error": cost_error, "delta_rel_error": 0.0}
+            ],
+            "tiered_cache": [
+                {
+                    "scenario": "LC",
+                    "tiered_warm_deltas": tiered_deltas,
+                    "tiered_hit_rate": hit_rate,
+                }
+            ],
+        },
+        timestamp="t",
+    )
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        doc = serve_doc(100.0)
+        assert compare_documents(doc, serve_doc(100.0)) == []
+
+    def test_within_threshold_passes(self):
+        assert compare_documents(serve_doc(100.0), serve_doc(115.0)) == []
+
+    def test_lower_is_better_regression_fails(self):
+        regressions = compare_documents(serve_doc(100.0), serve_doc(130.0))
+        assert len(regressions) == 1
+        entry = regressions[0]
+        assert entry["group"] == "serve_warm_vs_cold"
+        assert entry["field"] == "warm_deltas"
+        assert entry["fresh"] == 130.0
+
+    def test_higher_is_better_regression_fails(self):
+        regressions = compare_documents(
+            serve_doc(100.0, hit_rate=0.9), serve_doc(100.0, hit_rate=0.5)
+        )
+        assert [r["field"] for r in regressions] == ["tiered_hit_rate"]
+
+    def test_improvements_never_fail(self):
+        assert compare_documents(serve_doc(100.0), serve_doc(1.0)) == []
+
+    def test_zero_baseline_tolerates_only_epsilon(self):
+        assert compare_documents(serve_doc(0.0), serve_doc(0.0)) == []
+        regressions = compare_documents(serve_doc(0.0), serve_doc(5.0))
+        assert regressions and regressions[0]["field"] == "warm_deltas"
+
+    def test_metric_missing_from_baseline_is_skipped(self):
+        baseline = serve_doc(100.0)
+        del baseline["metrics"]["tiered_cache"]
+        assert compare_documents(baseline, serve_doc(100.0)) == []
+
+    def test_metric_missing_from_fresh_run_fails(self):
+        fresh = serve_doc(100.0)
+        del fresh["metrics"]["tiered_cache"]
+        regressions = compare_documents(serve_doc(100.0), fresh)
+        assert {r["field"] for r in regressions} == {
+            "tiered_warm_deltas",
+            "tiered_hit_rate",
+        }
+        assert all(r["fresh"] is None for r in regressions)
+
+    def test_unknown_benchmark_and_mismatch_raise(self):
+        bogus = bench_document("bogus", {}, {}, timestamp="t")
+        with pytest.raises(ValueError):
+            compare_documents(bogus, bogus)
+        batch = bench_document("batch", {}, {}, timestamp="t")
+        with pytest.raises(ValueError):
+            compare_documents(serve_doc(1.0), batch)
+
+    def test_custom_threshold(self):
+        assert (
+            compare_documents(serve_doc(100.0), serve_doc(130.0), threshold=0.5) == []
+        )
+        assert compare_documents(
+            serve_doc(100.0), serve_doc(111.0), threshold=0.1
+        )
+
+
+def test_median_of_skips_non_numeric_rows():
+    rows = [{"x": 1.0}, {"x": "n/a"}, {"x": 3.0}, {"x": True}, {}]
+    assert median_of(rows, "x") == 2.0
+    assert median_of(rows, "absent") is None
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    baseline_path.write_text(json.dumps(serve_doc(100.0)))
+
+    fresh_path.write_text(json.dumps(serve_doc(105.0)))
+    assert main(["--baseline", str(baseline_path), "--fresh", str(fresh_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    fresh_path.write_text(json.dumps(serve_doc(100.0 * (1 + DEFAULT_THRESHOLD) * 2)))
+    assert main(["--baseline", str(baseline_path), "--fresh", str(fresh_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "serve_warm_vs_cold.warm_deltas" in out
+
+
+def test_committed_baselines_parse_and_cover_the_gated_groups():
+    """The baselines this repo commits must actually drive the gate."""
+    import os
+
+    from repro.bench.regression import KEY_METRICS
+
+    root = os.path.join(os.path.dirname(__file__), "..", "bench", "baselines")
+    for name, benchmark in (("BENCH_serve.json", "serve"), ("BENCH_batch.json", "batch")):
+        with open(os.path.join(root, name), "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["benchmark"] == benchmark
+        for group, field, _direction in KEY_METRICS[benchmark]:
+            rows = document["metrics"].get(group)
+            assert rows, f"{name} lacks gated group {group}"
+            assert median_of(rows, field) is not None, f"{name} {group}.{field}"
+        # A baseline compared to itself is by definition regression-free.
+        assert compare_documents(document, document) == []
