@@ -48,6 +48,11 @@ KEY_METRICS: dict[str, list[tuple[str, str, str]]] = {
         ("warm_pricing", "delta_rel_error", "lower"),
         ("tiered_cache", "tiered_warm_deltas", "lower"),
         ("tiered_cache", "tiered_hit_rate", "higher"),
+        # Wall seconds are never gated; the deterministic work counters of
+        # the worker-model benchmark are (the >=2x speedup bar itself is
+        # asserted inside cpu_bound_serving_benchmark).
+        ("cpu_bound_serving", "deltas_applied", "lower"),
+        ("cpu_bound_serving", "payload_mismatches", "lower"),
     ],
     "batch": [
         ("batch_vs_sequential", "batch_deltas", "lower"),

@@ -644,8 +644,121 @@ def _cmd_repack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _frontend_backend_spec(directory: str) -> str:
+    """The repository's backend spec, read without opening the repository.
+
+    The multi-process front-end must validate (and fork) *before* any
+    sqlite connection or thread exists, so it peeks at the state file
+    directly instead of calling :func:`load_repository`.
+    """
+    state_path = os.path.join(directory, _STATE_FILE)
+    if not os.path.exists(state_path):
+        raise ReproError(
+            f"{directory!r} is not a repro repository (missing {_STATE_FILE}); "
+            "run 'repro init' first"
+        )
+    with open(state_path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    return str(state.get("backend", _DEFAULT_BACKEND))
+
+
+def _pick_reuseport_port(host: str) -> int:
+    """Resolve ``--port 0`` to a concrete port for an SO_REUSEPORT group.
+
+    Every acceptor process must bind the *same* number, so an ephemeral
+    port has to be chosen once up front.  The probe socket is closed again
+    before the acceptors bind — a tiny window in which another process
+    could take the port, acceptable for the ephemeral-port convenience
+    path (deployments pass an explicit --port).
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((host, 0))
+        return int(probe.getsockname()[1])
+
+
+def _raise_keyboard_interrupt(signum, frame) -> None:
+    """SIGTERM handler for forked acceptors: reuse the ctrl-c path."""
+    raise KeyboardInterrupt
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run a repository as a long-lived HTTP version-store service."""
+    """Run a repository as an HTTP version-store service.
+
+    With ``--frontend-procs N > 1`` (and SO_REUSEPORT available), forks N
+    acceptor processes that each bind the same port; the kernel balances
+    connections across them.  Every acceptor builds its *own* repository
+    handle, service, caches and worker pools — the ``sqlite://`` catalog
+    is the single source of truth they share, exactly like N independent
+    ``repro serve`` processes on one store.  The fork happens before any
+    repository (and hence sqlite connection or thread) exists, so nothing
+    unsafe crosses it.
+    """
+    procs = max(1, int(getattr(args, "frontend_procs", 1) or 1))
+    if procs == 1:
+        return _serve_once(args)
+    from .server.httpd import reuse_port_supported
+
+    if not reuse_port_supported():
+        print(
+            "warning: SO_REUSEPORT is unavailable on this platform; "
+            f"--frontend-procs {procs} falls back to one acceptor process",
+            file=sys.stderr,
+        )
+        return _serve_once(args)
+    backend_spec = _frontend_backend_spec(args.repository)
+    if not backend_spec.startswith("sqlite://"):
+        raise ReproError(
+            f"--frontend-procs {procs} requires a sqlite:// metadata catalog "
+            f"(this repository uses {backend_spec!r}): only the catalog lets "
+            "several processes share commits, workload counters and epoch "
+            "swaps safely; re-init with "
+            "'repro init REPO --backend sqlite://catalog.db'"
+        )
+    if args.port == 0:
+        args.port = _pick_reuseport_port(args.host)
+
+    import signal
+
+    children: list[int] = []
+    for index in range(1, procs):
+        pid = os.fork()
+        if pid == 0:
+            signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+            code = 1
+            try:
+                code = _serve_once(args, reuse_port=True, proc_index=index)
+            except KeyboardInterrupt:
+                code = 0
+            finally:
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(code)
+        children.append(pid)
+    # The parent is acceptor 0; route SIGTERM through the ctrl-c path so
+    # `kill` on it still reaches the child-cleanup block below.
+    signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        return _serve_once(args, reuse_port=True, proc_index=0)
+    finally:
+        for pid in children:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+
+
+def _serve_once(
+    args: argparse.Namespace, *, reuse_port: bool = False, proc_index: int = 0
+) -> int:
+    """Run one acceptor process of the version-store service."""
     from .server.httpd import serve
     from .server.service import VersionStoreService
 
@@ -676,17 +789,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # workload survives restarts and feeds `repro repack --workload`.
         workload_log=open_workload_log(args.repository, repo=repo),
         max_workers=args.workers,
+        worker_model=getattr(args, "worker_model", "thread"),
         repack_budget=args.repack_budget,
         auto_repack_interval=args.repack_interval,
         adaptive_repack=args.adaptive_repack,
         repack_horizon=args.repack_horizon,
         log_sink=log_sink,
     )
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(service, host=args.host, port=args.port, reuse_port=reuse_port)
     host, port = server.server_address[:2]
+    acceptor = f"; acceptor {proc_index}" if reuse_port else ""
     print(
         f"serving {args.repository} on http://{host}:{port} "
-        f"({service.max_workers} workers; ctrl-c to stop)"
+        f"({service.max_workers} {service.worker_model} workers"
+        f"{acceptor}; ctrl-c to stop)"
     )
     try:
         server.serve_forever()
@@ -863,6 +979,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker threads for parallel chain materialization "
         "(default: the machine's CPU count)",
+    )
+    serve.add_argument(
+        "--worker-model",
+        choices=("thread", "process"),
+        default="thread",
+        help="replay worker model: 'thread' shares the interpreter (best "
+        "for I/O-bound decode), 'process' ships subtree replays to a "
+        "spawn-based process pool so CPU-bound decoding escapes the GIL "
+        "(falls back to 'thread' for non-reopenable backends/encoders)",
+    )
+    serve.add_argument(
+        "--frontend-procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fork N acceptor processes sharing the port via SO_REUSEPORT "
+        "(requires a sqlite:// catalog backend; each acceptor keeps its "
+        "own caches and worker pool; default: 1)",
     )
     serve.add_argument(
         "--repack-budget",

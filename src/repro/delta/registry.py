@@ -1,0 +1,71 @@
+"""Name → encoder-factory registry for cross-process replay.
+
+The process-pool replay engine (``--worker-model process``) ships work
+to worker processes as plain picklable values: a backend spec string, an
+*encoder name*, and the delta chain ids.  The worker must reconstruct a
+working encoder from the name alone, so every encoder that wants to be
+process-replayable registers a zero-argument factory here under its
+``DeltaEncoder.name``.
+
+Encoders whose behaviour cannot be recovered from the name alone (for
+example :class:`~repro.delta.compression.CompressedEncoder`, whose name
+embeds a wrapped inner encoder, or ad-hoc instances constructed with
+non-default cost factors) simply stay unregistered: the materializer
+detects that and falls back to the in-process thread model for them.
+Per-delta parameters that *do* need to cross the process boundary travel
+in ``Delta.metadata`` instead of encoder constructor state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import DeltaEncoder
+
+__all__ = ["register_encoder", "encoder_from_name", "registered_encoder_names"]
+
+_FACTORIES: Dict[str, Callable[[], DeltaEncoder]] = {}
+
+
+def register_encoder(name: str, factory: Callable[[], DeltaEncoder]) -> None:
+    """Register ``factory`` as the way to rebuild encoder ``name``.
+
+    Re-registration overwrites: the latest factory wins, which lets tests
+    swap in instrumented variants.
+    """
+    _FACTORIES[name] = factory
+
+
+def encoder_from_name(name: str) -> DeltaEncoder:
+    """Build a fresh encoder for ``name``; raises ``KeyError`` when unknown."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"no registered encoder factory for {name!r} "
+            f"(known: {sorted(_FACTORIES)})"
+        ) from None
+    return factory()
+
+
+def registered_encoder_names() -> tuple[str, ...]:
+    """Names with a registered factory, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _register_builtins() -> None:
+    from .cell_diff import CellDiffEncoder
+    from .command_delta import CommandDeltaEncoder
+    from .line_diff import LineDiffEncoder, TwoWayLineDiffEncoder
+    from .simulated import SimulatedCpuEncoder
+    from .xor_diff import XorDeltaEncoder
+
+    register_encoder(LineDiffEncoder.name, LineDiffEncoder)
+    register_encoder(TwoWayLineDiffEncoder.name, TwoWayLineDiffEncoder)
+    register_encoder(CellDiffEncoder.name, CellDiffEncoder)
+    register_encoder(CommandDeltaEncoder.name, CommandDeltaEncoder)
+    register_encoder(XorDeltaEncoder.name, XorDeltaEncoder)
+    register_encoder(SimulatedCpuEncoder.name, SimulatedCpuEncoder)
+
+
+_register_builtins()

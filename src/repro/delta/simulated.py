@@ -1,0 +1,73 @@
+"""A deterministically GIL-bound encoder for concurrency benchmarks.
+
+Benchmarking "does the process pool actually beat threads on CPU-bound
+replay?" on shared CI hardware is hopeless with real compute: a one-core
+runner can never show a parallel speedup, and a sixteen-core runner
+shows a different one every day.  :class:`SimulatedCpuEncoder` models
+GIL-bound compute instead, the same way ``SimulatedLatencyBackend``
+models I/O latency with sleeps:
+
+* ``apply`` sleeps for the delta's ``cpu_seconds`` **while holding a
+  module-level lock**.  Within one process every thread serializes on
+  that lock — exactly like pure-Python compute holding the GIL — so the
+  thread worker model gets zero overlap no matter how many workers it
+  has.
+* Each worker *process* has its own copy of the module and therefore its
+  own lock, so process-pool replays overlap fully — exactly like real
+  compute on real cores.
+
+The result is a machine-independent, deterministic thread-vs-process
+comparison: N process workers replay N chains ~N× faster than threads,
+on a laptop and on a one-core CI runner alike.
+
+The simulated cost travels in ``Delta.metadata["cpu_seconds"]`` so a
+worker process can rebuild the encoder from its name with the default
+constructor (see :mod:`repro.delta.registry`) and still honour whatever
+cost the diffing side configured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any
+
+from .base import Delta, DeltaEncoder
+from .line_diff import LineDiffEncoder
+
+__all__ = ["SimulatedCpuEncoder"]
+
+#: Stands in for the GIL: one per process, shared by every
+#: SimulatedCpuEncoder instance in that process.
+_SIMULATED_GIL = threading.Lock()
+
+
+class SimulatedCpuEncoder(DeltaEncoder[Any]):
+    """Line-diff semantics plus a simulated GIL-bound apply cost."""
+
+    name = "simulated-cpu"
+    symmetric = False
+
+    def __init__(self, apply_seconds: float = 0.005) -> None:
+        if apply_seconds < 0:
+            raise ValueError("apply_seconds must be non-negative")
+        self.apply_seconds = float(apply_seconds)
+        self._inner = LineDiffEncoder()
+
+    def diff(self, source: Any, target: Any) -> Delta[Any]:
+        inner = self._inner.diff(source, target)
+        metadata = dict(inner.metadata)
+        metadata["cpu_seconds"] = self.apply_seconds
+        return dataclasses.replace(inner, encoder_name=self.name, metadata=metadata)
+
+    def apply(self, source: Any, delta: Delta[Any]) -> Any:
+        self._check_encoder(delta)
+        seconds = float(delta.metadata.get("cpu_seconds", self.apply_seconds))
+        with _SIMULATED_GIL:
+            # "Compute" while holding the process's simulated GIL: sibling
+            # threads in this process must wait; sibling processes do not.
+            if seconds > 0:
+                time.sleep(seconds)
+        inner_delta = dataclasses.replace(delta, encoder_name=self._inner.name)
+        return self._inner.apply(source, inner_delta)

@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -76,7 +77,13 @@ from ..exceptions import ReproError, VersionNotFoundError
 from ..obs import Trace
 from .service import VersionStoreService
 
-__all__ = ["VersionStoreHTTPServer", "serve", "serve_in_thread"]
+__all__ = [
+    "VersionStoreHTTPServer",
+    "ReusePortHTTPServer",
+    "reuse_port_supported",
+    "serve",
+    "serve_in_thread",
+]
 
 #: Maximum accepted request body (64 MiB) — a plain guard against a
 #: misbehaving client exhausting server memory with one request.
@@ -113,6 +120,28 @@ class VersionStoreHTTPServer(ThreadingHTTPServer):
         """Base URL the server answers on (real port, even when bound to 0)."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+
+def reuse_port_supported() -> bool:
+    """True when this platform exposes ``SO_REUSEPORT`` (Linux, BSDs)."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+class ReusePortHTTPServer(VersionStoreHTTPServer):
+    """A :class:`VersionStoreHTTPServer` that joins an ``SO_REUSEPORT`` group.
+
+    Several acceptor *processes* each bind their own socket to the same
+    ``(host, port)`` with ``SO_REUSEPORT`` set before ``bind``; the kernel
+    then load-balances incoming connections across all listening group
+    members — the multi-process front-end of ``repro serve
+    --frontend-procs N``.  Raises ``OSError`` on platforms without the
+    option; callers check :func:`reuse_port_supported` first and fall back
+    to the single-process server.
+    """
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -487,14 +516,21 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def serve(
-    service: VersionStoreService, host: str = "127.0.0.1", port: int = 0
+    service: VersionStoreService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    reuse_port: bool = False,
 ) -> VersionStoreHTTPServer:
     """Bind a server for ``service`` (``port=0`` picks an ephemeral port).
 
-    The caller drives the loop: ``serve_forever()`` to block, or
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several acceptor
+    processes can share the port (see :class:`ReusePortHTTPServer`).  The
+    caller drives the loop: ``serve_forever()`` to block, or
     :func:`serve_in_thread` for tests and embedding.
     """
-    return VersionStoreHTTPServer((host, port), service)
+    server_cls = ReusePortHTTPServer if reuse_port else VersionStoreHTTPServer
+    return server_cls((host, port), service)
 
 
 def serve_in_thread(

@@ -196,13 +196,19 @@ class VersionStoreService:
     run in parallel; structural mutations — commits, the repack swap, raw
     backend writes from the ``/objects`` transport — take its brief
     exclusive barrier.  Within shared mode, each materialization holds the
-    striped lock of its chain's *root object* (``lock_stripes`` stripes),
-    so independent chains replay concurrently while same-chain requests
-    serialize into the warm cache.  ``max_workers`` (default: the machine's
-    CPU count) additionally fans one ``checkout_many`` batch out across
-    worker threads, one per independent union tree.  Setting
-    ``lock_stripes=1`` with ``max_workers=1`` reproduces the old
-    single-lock server — the benchmark's baseline.
+    striped lock of its chain's **subtree stripe key** (``lock_stripes``
+    stripes) — the node below the deepest fork point, which degenerates to
+    the chain root on linear histories — so independent chains *and
+    disjoint subtrees of one fork-heavy root* replay concurrently while
+    same-subtree requests serialize into the warm cache.  ``max_workers``
+    (default: the machine's CPU count) additionally fans one
+    ``checkout_many`` batch out across workers, one per subtree stripe.
+    ``worker_model`` selects where replay runs: ``"thread"`` (default)
+    keeps it in-process; ``"process"`` dispatches each stripe to a spawned
+    process pool so CPU-bound encoders escape the GIL (falling back to
+    threads, once-logged, when the backend or encoder cannot cross a
+    process boundary).  Setting ``lock_stripes=1`` with ``max_workers=1``
+    reproduces the old single-lock server — the benchmark's baseline.
 
     ``on_commit`` is called after every successful commit — and after the
     swap phase of an online :meth:`repack` — while the exclusive barrier is
@@ -239,6 +245,7 @@ class VersionStoreService:
         on_commit: Callable[[Repository], None] | None = None,
         workload_log: WorkloadLog | None = None,
         max_workers: int | None = None,
+        worker_model: str = "thread",
         lock_stripes: int = 64,
         repack_budget: float | None = None,
         auto_repack_interval: int = 32,
@@ -269,7 +276,11 @@ class VersionStoreService:
             admission=cache_admission,
             spill_dir=cache_tier_dir,
             spill_bytes=cache_tier_bytes,
+            worker_model=worker_model,
         )
+        # The *effective* model: the materializer may have fallen back to
+        # threads when the backend/encoder cannot cross a process boundary.
+        self.worker_model = self.materializer.worker_model
         self.stats_counters = ServiceStats()
         self._on_commit = on_commit
         # Every served checkout is folded into the workload log; with a
@@ -615,18 +626,19 @@ class VersionStoreService:
             shared_span = trace.span("shared", version=str(version_id))
             with shared_span, self.coordinator.shared():
                 object_id = self.repository.object_id_of(version_id)
-                # The stripe key is the chain's root object when the cost
-                # index's memo can answer it in O(1); on a tip the index
-                # has not priced yet, key by the tip instead of forcing a
-                # resolving walk or fetch — the leader's materialization
-                # memoizes the stats, so every later request stripes by
-                # the root with a single dictionary lookup.
-                root = self.repository.store.cached_chain_root(object_id)
+                # The stripe key is the chain's subtree stripe (the node
+                # below its deepest fork point; the root on linear chains)
+                # when the cost index can answer it with dictionary walks;
+                # on a tip the index has not seen yet, key by the tip
+                # instead of forcing a resolving fetch — the leader's
+                # materialization indexes the chain, so every later
+                # request stripes by its subtree.
+                stripe = self.repository.store.subtree_stripe_key(object_id)
                 span = shared_span.span("materialize", object=str(object_id))
                 with span:
                     observer = span.add_lock_wait if trace.enabled else None
                     with self.chain_locks.holding(
-                        root or object_id, observer=observer
+                        stripe or object_id, observer=observer
                     ):
                         item = self.materializer.materialize(object_id)
                 if trace.enabled:
@@ -811,8 +823,10 @@ class VersionStoreService:
             }
             concurrency = {
                 "max_workers": self.max_workers,
+                "worker_model": self.worker_model,
                 "lock_stripes": self.chain_locks.num_stripes,
                 "exclusive_epochs": self.coordinator.exclusive_epochs,
+                "replay_pool": self.materializer.pool_info(),
             }
         return {
             "serving": serving,

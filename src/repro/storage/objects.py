@@ -150,6 +150,12 @@ class ObjectStore:
         # stats snapshot totals storage.
         self._meta: dict[str, ObjectMeta] = {}
         self._chain_stats: dict[str, ChainStats] = {}
+        # Reverse base links: base object id -> ids of the indexed deltas
+        # stored directly against it.  A node with two or more children is
+        # a *fork point*; subtree_stripe_key() uses this to key striped
+        # locks on the deepest fork's branches instead of the chain root,
+        # so fork-fan graphs stop serializing on their common ancestor.
+        self._children: dict[str, set[str]] = {}
         # The measured side of the cost index: per-object EWMA of actual
         # rebuild seconds (fetch + delta apply), recorded by replay paths,
         # plus running totals that fit a global seconds-per-Φ rate.  Like
@@ -219,12 +225,20 @@ class ObjectStore:
         self.backend.delete(object_id)
         with self._index_lock:
             self._observed.pop(object_id, None)
-            if self._meta.pop(object_id, None) is not None:
+            self._children.pop(object_id, None)
+            meta = self._meta.pop(object_id, None)
+            if meta is not None:
                 # Chain totals memoized for *descendant* tips route through
                 # the removed object; there is no reverse index to find
                 # them, so drop the whole memo — per-object metadata stays,
                 # and live tips rebuild their totals with dictionary walks.
                 self._chain_stats.clear()
+                if meta.base_id is not None:
+                    siblings = self._children.get(meta.base_id)
+                    if siblings is not None:
+                        siblings.discard(object_id)
+                        if not siblings:
+                            del self._children[meta.base_id]
 
     # ------------------------------------------------------------------ #
     # reading
@@ -610,6 +624,32 @@ class ObjectStore:
             stats = self._chain_stats.get(object_id)
         return stats.root_id if stats is not None else None
 
+    def subtree_stripe_key(self, object_id: str) -> str | None:
+        """Deepest-shared-ancestor stripe key for ``object_id``, or ``None``.
+
+        The serving layer's striped locks need a key that groups requests
+        which actually contend (they replay overlapping chain suffixes)
+        while separating requests that do not.  Keying on the chain *root*
+        serializes every tip of a fork-heavy graph on its common ancestor;
+        this method instead walks the indexed chain root-first and keys on
+        the chain node just **below the deepest fork point** (the deepest
+        ancestor with two or more indexed children) — i.e. the root of the
+        tip's own subtree.  Linear chains degenerate to their root, exactly
+        the old behavior.  Pure dictionary walks, no backend read; returns
+        ``None`` when some link is not indexed yet (callers fall back to
+        the object id itself, as with :meth:`cached_chain_root`).
+        """
+        chain = self.cached_chain_ids(object_id)
+        if chain is None:
+            return None
+        key = chain[0]
+        with self._index_lock:
+            for index in range(len(chain) - 1):
+                children = self._children.get(chain[index])
+                if children is not None and len(children) >= 2:
+                    key = chain[index + 1]
+        return key
+
     def prime_chains(self, object_ids: Sequence[str]) -> dict[str, StoredObject]:
         """Resolve many chains in one exchange on a remote backend.
 
@@ -682,4 +722,6 @@ class ObjectStore:
             cost = payload_size(obj.payload)
             meta = ObjectMeta(base_id=None, storage_cost=cost, phi=cost)
         with self._index_lock:
-            self._meta.setdefault(obj.object_id, meta)
+            stored = self._meta.setdefault(obj.object_id, meta)
+            if stored is meta and meta.base_id is not None:
+                self._children.setdefault(meta.base_id, set()).add(obj.object_id)
