@@ -60,6 +60,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import socket
 import sys
 from typing import Sequence
 
@@ -772,6 +773,20 @@ def _serve_once(
         from .obs import JsonLogSink
 
         log_sink = JsonLogSink(args.log_json)
+    replica_id = None
+    if getattr(args, "join", False):
+        if repo.catalog is None:
+            raise ReproError(
+                "--join needs a shared metadata catalog: initialise the "
+                "store with --backend sqlite://PATH (peers then serve the "
+                "same catalog and elect one repack planner)"
+            )
+        replica_id = getattr(args, "replica_id", None) or (
+            f"replica-{socket.gethostname()}-{os.getpid()}"
+        )
+        if reuse_port and proc_index:
+            # Each --frontend-procs acceptor is its own lease competitor.
+            replica_id = f"{replica_id}-fe{proc_index}"
     cache_tier_dir = args.cache_tier_dir
     if cache_tier_dir is None and args.cache_tier_bytes > 0:
         cache_tier_dir = os.path.join(args.repository, "cache-tier")
@@ -795,14 +810,18 @@ def _serve_once(
         adaptive_repack=args.adaptive_repack,
         repack_horizon=args.repack_horizon,
         log_sink=log_sink,
+        replica_id=replica_id,
+        lease_ttl=getattr(args, "lease_ttl", 10.0),
+        lease_renew=getattr(args, "lease_renew", None),
     )
     server = serve(service, host=args.host, port=args.port, reuse_port=reuse_port)
     host, port = server.server_address[:2]
     acceptor = f"; acceptor {proc_index}" if reuse_port else ""
+    replica = f"; replica {replica_id}" if replica_id else ""
     print(
         f"serving {args.repository} on http://{host}:{port} "
         f"({service.max_workers} {service.worker_model} workers"
-        f"{acceptor}; ctrl-c to stop)"
+        f"{acceptor}{replica}; ctrl-c to stop)"
     )
     try:
         server.serve_forever()
@@ -1037,6 +1056,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="append structured JSON-lines events (requests, repack "
         "decisions) to PATH; set REPRO_METRICS=off to disable the "
         "/metrics registry instead",
+    )
+    serve.add_argument(
+        "--join",
+        action="store_true",
+        help="join a replica group over this store's sqlite:// catalog: "
+        "compete for the repack-planner lease so exactly one replica "
+        "plans and stages repacks (everyone adopts the swap via the "
+        "catalog poll); repack/prune on non-holders return 409",
+    )
+    serve.add_argument(
+        "--replica-id",
+        default=None,
+        metavar="ID",
+        help="this replica's id in the group (default: "
+        "replica-<hostname>-<pid>); shown as the lease holder in /stats",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="planner-lease time-to-live: a holder paused longer than "
+        "this loses the lease to the first peer that retries "
+        "(default 10.0)",
+    )
+    serve.add_argument(
+        "--lease-renew",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between lease renewal attempts (default: ttl/3, "
+        "so a holder gets two retries before peers may steal)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -22,6 +22,9 @@ __all__ = [
     "MergeError",
     "StaleEpochError",
     "SnapshotConflictError",
+    "LeaseError",
+    "NotLeaseHolderError",
+    "LeaseFencedError",
     "DeltaApplicationError",
     "SolverError",
 ]
@@ -105,6 +108,34 @@ class SnapshotConflictError(RepositoryError):
     Exactly one activation wins per epoch: when a peer process activated a
     different snapshot after this one was staged, the activation transaction
     refuses and the staged epoch must be failed and pruned instead.
+    """
+
+
+class LeaseError(RepositoryError):
+    """Base class for replica-group lease coordination failures."""
+
+
+class NotLeaseHolderError(LeaseError):
+    """A planner-only operation was attempted by a replica without the lease.
+
+    Raised by the serving layer when a replica joined to a group
+    (``repro serve --join``) receives a repack or prune request while a
+    peer holds the repack-planner lease.  The HTTP transport maps this to
+    ``409 Conflict``: retry against the holder (its id is in ``/stats``
+    under ``repack.lease.holder``), or wait for this replica to steal an
+    expired lease.
+    """
+
+
+class LeaseFencedError(LeaseError):
+    """A staged epoch's activation carried a stale fencing token.
+
+    The activation transaction validates the fencing token captured when
+    staging began against the lease table's current token.  A mismatch
+    means the planner lost the lease mid-repack — it was paused past its
+    TTL and a peer stole the lease — so activating would let a zombie
+    planner swap in an epoch planned against state the group has moved
+    past.  The staging is marked failed and must be pruned.
     """
 
 

@@ -50,14 +50,22 @@ class DecisionLog:
                 if isinstance(seq, int) and seq > self._seq:
                     self._seq = seq
 
-    def append(self, record: Dict[str, object]) -> Dict[str, object]:
-        """Stamp *record* with a sequence number, buffer and persist it."""
+    def append(
+        self, record: Dict[str, object], *, persist: bool = True
+    ) -> Dict[str, object]:
+        """Stamp *record* with a sequence number, buffer and persist it.
+
+        ``persist=False`` keeps the record in the ring buffer only — used
+        for chatty events (lease renewals fire every second per replica)
+        that must stay observable in ``/stats`` without flushing the
+        bounded catalog audit trail out of its retention window.
+        """
         with self._lock:
             self._seq += 1
             stamped = dict(record)
             stamped["seq"] = self._seq
             self._records.append(stamped)
-        catalog = self._catalog
+        catalog = self._catalog if persist else None
         if catalog is not None:
             saver = getattr(catalog, "append_repack_decision", None)
             if saver is not None:

@@ -42,7 +42,8 @@ POST      ``/repack``             ``{"problem"?, "threshold"?,
 GET       ``/snapshots``          epoch history from the metadata catalog
                                   (``sqlite://`` stores; 400 otherwise)
 POST      ``/prune``              drop dead/failed epochs and sweep
-                                  unreferenced objects → GC report
+                                  unreferenced objects → GC report (409 on
+                                  a replica not holding the planner lease)
 ========  ======================  =============================================
 
 Payloads travel as JSON values, so the service API handles any
@@ -73,7 +74,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from ..exceptions import ReproError, VersionNotFoundError
+from ..exceptions import LeaseError, ReproError, VersionNotFoundError
 from ..obs import Trace
 from .service import VersionStoreService
 
@@ -237,6 +238,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(error)})
         except KeyError as error:
             self._send_json(404, {"error": f"not found: {error}"})
+        except LeaseError as error:
+            # Replica-group coordination conflicts (repack/prune on a
+            # non-holder, fenced zombie activations) are 409: the request
+            # was well-formed, another replica owns the operation.
+            self._send_json(409, {"error": str(error)})
         except (ReproError, ValueError, json.JSONDecodeError) as error:
             self._send_json(400, {"error": str(error)})
         except Exception as error:  # pragma: no cover - defensive 500

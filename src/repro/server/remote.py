@@ -43,7 +43,16 @@ _RETRY_MAX_DELAY = 2.0
 
 
 class RemoteServiceError(RepositoryError):
-    """The remote service answered with an error (or not at all)."""
+    """The remote service answered with an error (or not at all).
+
+    ``status`` carries the HTTP status code when one was received
+    (``None`` for transport failures) — replica-group clients branch on
+    409 to find the lease holder instead of string-matching messages.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 def _http(
@@ -357,6 +366,18 @@ class ServiceClient:
         """
         return self._post("/repack", options)
 
+    def snapshots(self) -> dict[str, Any]:
+        """Epoch history from the metadata catalog (``GET /snapshots``)."""
+        return self._get("/snapshots")
+
+    def prune(self) -> dict[str, Any]:
+        """Drop dead epochs and sweep garbage (``POST /prune``).
+
+        On a replica-group member that does not hold the planner lease
+        the server answers 409 — prune from the holder instead.
+        """
+        return self._post("/prune", {})
+
     # -- internals ------------------------------------------------------- #
     def _get(self, path: str) -> dict[str, Any]:
         return self._json("GET", path, None, retry=True)
@@ -392,7 +413,8 @@ class ServiceClient:
         except urlerror.HTTPError as error:
             raise RemoteServiceError(
                 f"{method} {url} failed: HTTP {error.code}"
-                + _error_detail(error)
+                + _error_detail(error),
+                status=error.code,
             ) from error
         except urlerror.URLError as error:
             raise RemoteServiceError(

@@ -63,7 +63,13 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..core.problems import default_threshold, solve
 from ..core.version import VersionID
-from ..exceptions import ReproError, SnapshotConflictError
+from ..exceptions import (
+    LeaseFencedError,
+    NotLeaseHolderError,
+    ReproError,
+    SnapshotConflictError,
+)
+from ..storage.lease import PlannerLease
 from ..obs import DecisionLog, JsonLogSink, MetricsRegistry, Trace
 from ..obs.metrics import default_registry_from_env, log_once
 from ..obs.trace import NULL_TRACE
@@ -256,10 +262,18 @@ class VersionStoreService:
         cache_tier_bytes: int = 0,
         metrics: MetricsRegistry | None = None,
         log_sink: JsonLogSink | None = None,
+        replica_id: str | None = None,
+        lease_ttl: float = 10.0,
+        lease_renew: float | None = None,
     ) -> None:
         if adaptive_repack and repack_budget is not None:
             raise ValueError(
                 "adaptive_repack replaces repack_budget; arm one policy, not both"
+            )
+        if replica_id is not None and getattr(repository, "catalog", None) is None:
+            raise ValueError(
+                "replica groups need a shared metadata catalog: serve the "
+                "store over a sqlite:// backend to use --join"
             )
         self.repository = repository
         self.max_workers = (
@@ -345,7 +359,25 @@ class VersionStoreService:
         self.decision_log = DecisionLog(
             capacity=256, catalog=getattr(repository, "catalog", None)
         )
+        # Replica-group mode: this replica competes for the repack-planner
+        # lease.  Only the holder's policy evaluates/stages; every replica
+        # still adopts finished swaps through sync().  The lease's renewal
+        # thread starts here and is stopped (with a voluntary release, so
+        # peers take over immediately) by close().
+        self.replica_id = replica_id
+        self.lease: PlannerLease | None = None
+        if replica_id is not None:
+            self.lease = PlannerLease(
+                repository.catalog,
+                replica_id,
+                ttl=lease_ttl,
+                renew_interval=lease_renew,
+                on_event=self._record_lease_event,
+            )
         self._bind_metrics()
+        if self.lease is not None:
+            self.lease.try_acquire()
+            self.lease.start()
 
     def _bind_metrics(self) -> None:
         """Create this service's instruments and bind every collaborator."""
@@ -398,6 +430,11 @@ class VersionStoreService:
             "repro_repack_staging_seconds_total",
             "Wall-clock seconds spent staging repacks.",
         )
+        self._m_lease_events = registry.counter(
+            "repro_lease_events_total",
+            "Planner-lease transitions observed by this replica, by event.",
+            ("event",),
+        )
         if not self._metrics_on:
             return
         staging_scale = registry.gauge(
@@ -419,6 +456,10 @@ class VersionStoreService:
             "repro_workload_accesses_total",
             "Accesses folded into the workload log.",
         )
+        lease_holder_gauge = registry.gauge(
+            "repro_lease_holder",
+            "1 when this replica holds the repack-planner lease, else 0.",
+        )
 
         def collect(_registry: MetricsRegistry) -> None:
             epoch_gauge.set(self.repacker.epoch)
@@ -428,6 +469,9 @@ class VersionStoreService:
             staging_scale.set(self.staging_calibration.scale)
             rate = self.repository.store.seconds_per_phi()
             phi_rate.set(rate if rate is not None else 0.0)
+            lease_holder_gauge.set(
+                1.0 if self.lease is not None and self.lease.is_holder else 0.0
+            )
 
         registry.register_collector(collect)
 
@@ -820,6 +864,7 @@ class VersionStoreService:
                 "measured_cost_model": self.repository.store.measured_cost_model(),
                 "decisions": self.decision_log.tail(20),
                 "decision_seq": self.decision_log.last_seq,
+                "lease": self.lease.state() if self.lease is not None else None,
             }
             concurrency = {
                 "max_workers": self.max_workers,
@@ -927,7 +972,14 @@ class VersionStoreService:
         JSON-ready report either way; ``"applied"`` records whether the
         store was actually re-encoded.  ``mode`` only labels the decision
         record (``manual`` / ``budget`` / ``adaptive``).
+
+        In a replica group, only the planner-lease holder may repack (dry
+        runs are read-only and stay allowed everywhere); everyone else
+        gets :class:`~repro.exceptions.NotLeaseHolderError` (HTTP 409)
+        and should retry against the holder named in ``/stats``.
         """
+        if not dry_run:
+            self._require_lease_holder("repack")
         report = self._repack_locked(
             problem=problem,
             threshold=threshold,
@@ -971,6 +1023,8 @@ class VersionStoreService:
                 record[key] = report[key]
         if "conflict" in report:
             record["conflict"] = report["conflict"]
+        if "fenced" in report:
+            record["fenced"] = report["fenced"]
         self.decision_log.append(record)
         if applied:
             self._m_repacks.labels(mode).inc()
@@ -981,6 +1035,54 @@ class VersionStoreService:
             return
         fields = {k: v for k, v in record.items() if k != "event"}
         self.log_sink.emit(str(record.get("event", "decision")), **fields)
+
+    def _record_lease_event(self, event: dict[str, Any]) -> None:
+        """Fold one lease transition into the decision log, metrics, sink.
+
+        Renewals and rejections fire every renew interval from every
+        replica; they stay in the in-memory decision ring (visible in
+        ``/stats``) but skip the catalog write-through — persisting one
+        row per second per replica would flush the bounded repack audit
+        trail out of its retention window.  Holder *changes* (acquired /
+        stolen / lost / released) and fencings are the audit trail, so
+        those persist.
+        """
+        kind = str(event.get("event", "lease"))
+        record = {
+            "event": f"lease_{kind}",
+            "ts": round(time.time(), 3),
+            "role": event.get("role"),
+            "holder": event.get("holder"),
+            "token": event.get("token"),
+            "replica_id": self.replica_id,
+        }
+        if "stolen_from" in event:
+            record["stolen_from"] = event["stolen_from"]
+        if "detail" in event:
+            record["detail"] = event["detail"]
+        persist = kind not in ("renewed", "rejected")
+        self.decision_log.append(record, persist=persist)
+        self._m_lease_events.labels(kind).inc()
+        if persist:
+            self._emit_decision(record)
+
+    def _require_lease_holder(self, operation: str) -> None:
+        """Planner-only operations 409 on replicas without the lease.
+
+        Repack planning and pruning mutate shared store state that every
+        replica serves from; in a replica group exactly one process — the
+        lease holder — may run them.  Prune especially: a non-holder's
+        sweep could collect objects the holder's in-flight staging already
+        wrote but has not mapped yet.
+        """
+        if self.lease is None or self.lease.is_holder:
+            return
+        state = self.lease.state()
+        raise NotLeaseHolderError(
+            f"replica {self.replica_id!r} does not hold the "
+            f"{self.lease.role!r} lease (held by {state['holder']!r}); "
+            f"{operation} must run on the lease holder"
+        )
 
     def _repack_locked(
         self,
@@ -1058,7 +1160,12 @@ class VersionStoreService:
 
             with self.repacker.lock:
                 # Phase 1 — stage the new encoding; readers keep serving.
-                staged = self.repacker.rebuild(result.plan)
+                # The lease fence is captured *now*, at staging start: if
+                # the lease changes hands before the swap (this planner
+                # paused past its TTL), the activation transaction rejects
+                # the stale token and the zombie epoch never goes live.
+                fence = self.lease.fence() if self.lease is not None else None
+                staged = self.repacker.rebuild(result.plan, fence=fence)
                 # Phase 2 — the exclusive barrier: the only window in which
                 # reads pause, and it contains no payload access at all.
                 try:
@@ -1082,6 +1189,26 @@ class VersionStoreService:
                     report["epoch"] = self.repacker.epoch
                     report["applied"] = False
                     report["conflict"] = str(error)
+                    return report
+                except LeaseFencedError as error:
+                    # This planner's lease was stolen between staging and
+                    # swap (it was paused past its TTL): the activation
+                    # was fenced by the token check and the staging marked
+                    # failed.  The new holder owns planning now — report,
+                    # do not raise through the request.
+                    report["epoch"] = self.repacker.epoch
+                    report["applied"] = False
+                    report["fenced"] = str(error)
+                    if self.lease is not None:
+                        self._record_lease_event(
+                            {
+                                "event": "fenced",
+                                "role": self.lease.role,
+                                "holder": self.replica_id,
+                                "token": self.lease.token,
+                                "detail": str(error),
+                            }
+                        )
                     return report
                 # Priced outside the barrier: totalling storage enumerates
                 # backend keys and may read index-unseen orphans — reads
@@ -1120,7 +1247,13 @@ class VersionStoreService:
         not writing (see the sharing rules in docs/serving.md).  Returns
         ``{"pruned_snapshots": 0.0, "removed_objects": 0.0}`` when the
         repository has no catalog.
+
+        In a replica group only the planner-lease holder may prune: a
+        non-holder's sweep races the holder's in-flight staging (objects
+        written but not yet mapped look unreferenced) — that footgun is a
+        409 now, not a silent data-loss window.
         """
+        self._require_lease_holder("prune")
         with self._write_gate:
             with self.coordinator.exclusive():
                 return self.repacker.prune_dead_epochs()
@@ -1138,6 +1271,11 @@ class VersionStoreService:
         """
         with self._state_lock:
             self._auto_repack_suppressed = True
+        # Release the planner lease first: a clean shutdown should hand
+        # planning to a peer immediately instead of making the group wait
+        # a TTL for the dead holder to expire.
+        if self.lease is not None:
+            self.lease.stop(release=True)
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._state_lock:
@@ -1174,8 +1312,11 @@ class VersionStoreService:
         same cycle with default options.  A controller is created on first
         use when the service was not started with ``adaptive_repack=True``,
         so an operator can drive the policy manually against any running
-        server.
+        server.  In a replica group only the planner-lease holder may run
+        a cycle; other replicas raise
+        :class:`~repro.exceptions.NotLeaseHolderError`.
         """
+        self._require_lease_holder("adaptive repack cycle")
         with self._state_lock:
             if self.controller is None:
                 self.controller = AdaptiveRepackController(
@@ -1337,6 +1478,11 @@ class VersionStoreService:
         the stats instead of raised.
         """
         if self.repack_budget is None and not self._adaptive_armed:
+            return
+        # Replica groups: the background policy runs only on the lease
+        # holder.  Non-holders keep serving (and keep folding traffic into
+        # the shared workload log, which the holder plans against).
+        if self.lease is not None and not self.lease.is_holder:
             return
         try:
             with self._state_lock:

@@ -1098,9 +1098,14 @@ class BatchMaterializer:
         Each walker descends one child at every node and submits the
         remaining siblings (with the just-materialized base payload) to the
         thread pool.  Walkers never block on another walker's future — the
-        caller alone drains the growing future list — so the walk cannot
-        deadlock however small the pool is, and every error surfaces only
-        after all walkers finished touching the store.
+        caller alone drains the growing future list — so walkers cannot
+        deadlock each other however small the pool is.  The caller itself
+        may hold this group's stripe lock while draining, and the pool's
+        workers may be busy with *another* batch's groups blocked on that
+        very stripe — so the drain must not wait on a future that has not
+        started: it cancels queued futures and runs their walks inline,
+        guaranteeing progress whatever the pool is wedged on.  Every error
+        surfaces only after all walkers finished touching the store.
         """
         futures: list = []
         futures_lock = threading.Lock()
@@ -1116,13 +1121,19 @@ class BatchMaterializer:
                 for sibling in kids[1:]:
                     with futures_lock:
                         futures.append(
-                            self._get_executor().submit(walk, sibling, payload)
+                            (
+                                self._get_executor().submit(walk, sibling, payload),
+                                sibling,
+                                payload,
+                            )
                         )
                 stack.append((kids[0], payload))
 
         for root in roots[1:]:
             with futures_lock:
-                futures.append(self._get_executor().submit(walk, root, None))
+                futures.append(
+                    (self._get_executor().submit(walk, root, None), root, None)
+                )
         if roots:
             walk(roots[0], None)
         errors: list[BaseException] = []
@@ -1131,12 +1142,21 @@ class BatchMaterializer:
             with futures_lock:
                 if index >= len(futures):
                     break
-                future = futures[index]
+                future, oid, base_payload = futures[index]
+            index += 1
+            if future.cancel():
+                # Still queued — a busy (or wedged) pool never ran it.
+                # Run it here so the drain cannot block behind workers
+                # that are themselves waiting on this caller's locks.
+                try:
+                    walk(oid, base_payload)
+                except BaseException as error:
+                    errors.append(error)
+                continue
             try:
                 future.result()
             except BaseException as error:
                 errors.append(error)
-            index += 1
         if errors:
             raise errors[0]
 

@@ -45,11 +45,13 @@ import os
 import pickle
 import sqlite3
 import threading
+import time
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..core.version import VersionID
 from ..exceptions import (
     DuplicateVersionError,
+    LeaseFencedError,
     RepositoryError,
     SnapshotConflictError,
     StaleEpochError,
@@ -112,6 +114,12 @@ CREATE TABLE IF NOT EXISTS objects (
 CREATE TABLE IF NOT EXISTS repack_decisions (
     id     INTEGER PRIMARY KEY AUTOINCREMENT,
     record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS leases (
+    role       TEXT PRIMARY KEY,
+    holder     TEXT,
+    expires_at REAL NOT NULL DEFAULT 0,
+    token      INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -485,7 +493,11 @@ class MetadataCatalog:
             )
 
     def activate_snapshot(
-        self, snapshot_id: int, stats: Mapping[str, Any] | None = None
+        self,
+        snapshot_id: int,
+        stats: Mapping[str, Any] | None = None,
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> int | None:
         """The swap, as one transaction.  Returns the new epoch, or ``None``.
 
@@ -498,8 +510,31 @@ class MetadataCatalog:
         snapshot is marked dead (its mapping is retained for point-in-time
         reads until pruned) and the epoch pointer advances — atomically, so
         a crash leaves either the old epoch fully serving or the new one.
+
+        ``fence=(role, token)`` additionally validates, inside the same
+        transaction, that the lease table's current fencing token for
+        ``role`` still equals the token the planner captured when staging
+        began.  A mismatch raises :class:`~repro.exceptions.LeaseFencedError`
+        (nothing is changed): the planner was paused past its lease TTL and
+        a peer stole the lease, so this activation belongs to a zombie —
+        the ``based_on_epoch`` check alone cannot catch that when no epoch
+        swap happened in between.
         """
         with self._write() as connection:
+            if fence is not None:
+                role, expected_token = fence
+                lease_row = connection.execute(
+                    "SELECT token FROM leases WHERE role = ?", (role,)
+                ).fetchone()
+                current_token = int(lease_row[0]) if lease_row is not None else 0
+                if current_token != int(expected_token):
+                    raise LeaseFencedError(
+                        f"snapshot {snapshot_id} was staged under "
+                        f"{role!r} lease token {int(expected_token)}, but the "
+                        f"current token is {current_token}: the lease was "
+                        "stolen mid-repack (the planner was paused past its "
+                        "TTL); refusing the zombie activation"
+                    )
             row = connection.execute(
                 "SELECT epoch, status, based_on_epoch FROM snapshots WHERE id = ?",
                 (snapshot_id,),
@@ -787,6 +822,145 @@ class MetadataCatalog:
             if isinstance(record, dict):
                 records.append(record)
         return records
+
+    # ------------------------------------------------------------------ #
+    # replica-group leases
+    # ------------------------------------------------------------------ #
+    class _LeaseTransaction:
+        """A ``BEGIN IMMEDIATE`` transaction that does *not* bump change_seq.
+
+        Lease renewals fire every second or so from every replica; bumping
+        the change counter for each would make every peer re-read the full
+        catalog state on its next sync even though no repository state
+        moved.  Lease state is polled through :meth:`lease_state` instead.
+        """
+
+        __slots__ = ("connection",)
+
+        def __init__(self, connection: sqlite3.Connection) -> None:
+            self.connection = connection
+
+        def __enter__(self) -> sqlite3.Connection:
+            self.connection.execute("BEGIN IMMEDIATE")
+            return self.connection
+
+        def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+            self.connection.execute("COMMIT" if exc_type is None else "ROLLBACK")
+
+    def acquire_lease(
+        self, role: str, holder: str, ttl: float, *, now: float | None = None
+    ) -> dict[str, Any]:
+        """Acquire, renew or steal the ``role`` lease in one transaction.
+
+        The single ``BEGIN IMMEDIATE`` transaction makes the state machine
+        race-free across any number of processes:
+
+        * no row (or a released one) → **acquired**: the holder is
+          recorded, the fencing token increments;
+        * row held by ``holder`` → **renewed**: the expiry extends, the
+          token is unchanged (renewal never invalidates in-flight work);
+        * row held by a peer whose lease expired → **stolen**: the holder
+          changes and the token increments, permanently fencing anything
+          the previous holder staged under the old token;
+        * row held by a live peer → **rejected**: nothing changes.
+
+        ``now`` defaults to wall-clock time (comparable across processes
+        on one host); tests inject skewed or manual clocks.  Returns the
+        post-transaction lease state plus the transition that happened
+        (``acquired`` / ``renewed`` / ``stolen`` / ``rejected``).
+        """
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive (seconds)")
+        timestamp = float(now) if now is not None else time.time()
+        with self._LeaseTransaction(self._connection()) as connection:
+            row = connection.execute(
+                "SELECT holder, expires_at, token FROM leases WHERE role = ?",
+                (role,),
+            ).fetchone()
+            if row is None:
+                connection.execute(
+                    "INSERT INTO leases(role, holder, expires_at, token) "
+                    "VALUES (?, ?, ?, 1)",
+                    (role, holder, timestamp + ttl),
+                )
+                return {
+                    "event": "acquired",
+                    "role": role,
+                    "holder": holder,
+                    "token": 1,
+                    "expires_at": timestamp + ttl,
+                }
+            current_holder, expires_at, token = row[0], float(row[1]), int(row[2])
+            if current_holder == holder:
+                connection.execute(
+                    "UPDATE leases SET expires_at = ? WHERE role = ?",
+                    (timestamp + ttl, role),
+                )
+                return {
+                    "event": "renewed",
+                    "role": role,
+                    "holder": holder,
+                    "token": token,
+                    "expires_at": timestamp + ttl,
+                }
+            if current_holder is None or expires_at <= timestamp:
+                # Released, or expired under a peer: take over.  The token
+                # increments on every holder change — never on renewal, and
+                # never backwards — which is what makes it a fencing token.
+                connection.execute(
+                    "UPDATE leases SET holder = ?, expires_at = ?, "
+                    "token = token + 1 WHERE role = ?",
+                    (holder, timestamp + ttl, role),
+                )
+                result = {
+                    "event": "stolen" if current_holder is not None else "acquired",
+                    "role": role,
+                    "holder": holder,
+                    "token": token + 1,
+                    "expires_at": timestamp + ttl,
+                }
+                if current_holder is not None:
+                    result["stolen_from"] = current_holder
+                return result
+            return {
+                "event": "rejected",
+                "role": role,
+                "holder": current_holder,
+                "token": token,
+                "expires_at": expires_at,
+            }
+
+    def release_lease(self, role: str, holder: str) -> bool:
+        """Voluntarily give the ``role`` lease up (clean shutdown path).
+
+        The row is kept with its token — deleting it would reset the token
+        to 1 on the next acquire, and a fencing token must never regress —
+        but the holder is cleared and the expiry zeroed, so the next
+        acquire takes over immediately (with a fresh token).  Only the
+        current holder can release; returns whether it did.
+        """
+        with self._LeaseTransaction(self._connection()) as connection:
+            cursor = connection.execute(
+                "UPDATE leases SET holder = NULL, expires_at = 0 "
+                "WHERE role = ? AND holder = ?",
+                (role, holder),
+            )
+            return cursor.rowcount > 0
+
+    def lease_state(self, role: str) -> dict[str, Any] | None:
+        """The ``role`` lease row (holder, expiry, token), or ``None``."""
+        row = self._connection().execute(
+            "SELECT holder, expires_at, token FROM leases WHERE role = ?",
+            (role,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "role": role,
+            "holder": row[0],
+            "expires_at": float(row[1]),
+            "token": int(row[2]),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MetadataCatalog path={self.path!r} epoch={self.epoch()}>"

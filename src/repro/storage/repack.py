@@ -39,6 +39,7 @@ from ..core.storage_plan import StoragePlan
 from ..core.version import VersionID
 from ..exceptions import (
     InvalidStoragePlanError,
+    LeaseFencedError,
     ObjectNotFoundError,
     ReproError,
     SnapshotConflictError,
@@ -680,6 +681,10 @@ class StagedRepack:
     staging_cost_paid: float = 0.0
     #: Wall seconds phase 1 took.
     staging_seconds: float = 0.0
+    #: ``(role, token)`` lease fence captured when staging began (replica
+    #: groups only).  The activation transaction validates it so a planner
+    #: whose lease was stolen mid-staging cannot activate a stale epoch.
+    fence: tuple[str, int] | None = None
 
 
 class OnlineRepacker:
@@ -741,7 +746,9 @@ class OnlineRepacker:
     # ------------------------------------------------------------------ #
     # phase 1: concurrent-reader-safe staging
     # ------------------------------------------------------------------ #
-    def rebuild(self, plan: StoragePlan) -> StagedRepack:
+    def rebuild(
+        self, plan: StoragePlan, *, fence: tuple[str, int] | None = None
+    ) -> StagedRepack:
         """Write the new encoding next to the old one (readers unaffected).
 
         Safe to run while other threads serve checkouts from the same
@@ -749,6 +756,10 @@ class OnlineRepacker:
         keys are never overwritten) and nothing is repointed or deleted.
         Concurrent *commits* must be paused by the caller — a version
         committed after planning would not be covered by ``plan``.
+
+        ``fence`` is the planner lease's ``(role, token)`` pair in replica
+        groups; it rides on the staged result and is validated by the
+        activation transaction (see :meth:`_swap_catalog`).
         """
         repository = self.repository
         for vid in repository.graph.version_ids:
@@ -836,6 +847,7 @@ class OnlineRepacker:
             snapshot_id=snapshot_id,
             staging_cost_paid=staging_cost_paid,
             staging_seconds=time.perf_counter() - staging_started,
+            fence=fence,
         )
 
     # ------------------------------------------------------------------ #
@@ -899,9 +911,13 @@ class OnlineRepacker:
         leaves either the old epoch fully serving or the new one — never a
         mix.  Exactly one activation wins per epoch: losing the race to a
         peer process raises :class:`~repro.exceptions.SnapshotConflictError`
-        after marking the staging failed (prunable).  Dead epochs keep
-        their mapping for point-in-time reads until pruned — garbage
-        collection is :meth:`prune_dead_epochs`'s job, not the swap's.
+        after marking the staging failed (prunable).  When the staging
+        carried a lease fence and the planner lease was stolen in between,
+        the activation transaction raises
+        :class:`~repro.exceptions.LeaseFencedError` — the zombie's staging
+        is likewise failed before re-raising.  Dead epochs keep their
+        mapping for point-in-time reads until pruned — garbage collection
+        is :meth:`prune_dead_epochs`'s job, not the swap's.
         """
         repository = self.repository
         catalog = repository.catalog
@@ -911,7 +927,15 @@ class OnlineRepacker:
             "num_materialized": float(len(staged.plan.materialized_versions())),
             "num_deltas": float(staged.num_deltas),
         }
-        new_epoch = catalog.activate_snapshot(staged.snapshot_id, stats)
+        try:
+            new_epoch = catalog.activate_snapshot(
+                staged.snapshot_id, stats, fence=staged.fence
+            )
+        except LeaseFencedError:
+            catalog.fail_snapshot(
+                staged.snapshot_id, "activation fenced: planner lease was stolen"
+            )
+            raise
         if new_epoch is None:
             catalog.fail_snapshot(
                 staged.snapshot_id, "lost the activation race to a peer"

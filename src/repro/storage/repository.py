@@ -509,20 +509,33 @@ class Repository:
         recreation whichever way the delta is replayed).
         """
         model = CostModel(directed=not self.encoder.symmetric, phi_equals_delta=False)
+        # One consistent snapshot of the version set: a peer commit (or a
+        # concurrent sync adopting one) can grow the graph while the model
+        # is being measured, and pair selection must not name a version the
+        # payload pass never saw.  Versions landing mid-measurement are
+        # simply absent from this model — the activation transaction
+        # carries them forward unchanged.
+        version_ids = list(self.graph.version_ids)
         payloads: dict[VersionID, Any] = {}
-        for vid in self.graph.version_ids:
+        for vid in version_ids:
             payloads[vid] = self.checkout(vid, record_stats=False).payload
             size = payload_size(payloads[vid])
             model.set_materialization(vid, size, size)
         if pairs is None:
             selected: list[tuple[VersionID, VersionID]] = []
-            for source in self.graph.version_ids:
+            for source in version_ids:
                 distances = self.graph.undirected_hop_distance(source, max_hops=hop_limit)
                 selected.extend(
-                    (source, target) for target in distances if target != source
+                    (source, target)
+                    for target in distances
+                    if target != source and target in payloads
                 )
         else:
-            selected = list(pairs)
+            selected = [
+                (source, target)
+                for source, target in pairs
+                if source in payloads and target in payloads
+            ]
         if model.directed:
             for source, target in selected:
                 delta = self.encoder.diff(payloads[source], payloads[target])

@@ -194,3 +194,148 @@ def test_oracle_catches_interleaving_with_forced_repacks(stress_seed):
 def test_interleaving_stress_battery(stress_seed):
     """The heavier schedule the CI fault-injection job runs."""
     run_interleaving(stress_seed, num_workers=6, ops_per_worker=60, cache_size=16)
+
+
+def run_multi_replica_interleaving(
+    seed: int,
+    tmp_path,
+    *,
+    num_workers: int = 4,
+    ops_per_worker: int = 25,
+) -> tuple[int, int]:
+    """Two replica services on one sqlite catalog vs the naive oracle.
+
+    Each worker is pinned to one of two :class:`VersionStoreService`
+    replicas sharing a ``sqlite://`` catalog (the replica-group topology
+    of ``repro serve --join``); the schedule interleaves commits through
+    both, checkouts from both, explicit syncs and repacks.  Repacks only
+    run on the planner-lease holder — the other replica adopts each swap
+    through its catalog poll.  A version committed through one replica
+    may not be visible on the other yet, so checkout retries once after a
+    ``sync()``; payloads must then be byte-identical to the oracle's.
+    """
+    import os
+
+    from repro.exceptions import NotLeaseHolderError
+
+    spec = "sqlite://" + os.path.join(tmp_path, "oracle-catalog.db")
+    repos = [Repository(backend=spec, cache_size=0) for _ in range(2)]
+    services = [
+        VersionStoreService(
+            repo,
+            cache_size=8,
+            lock_stripes=8,
+            max_workers=2,
+            replica_id=f"replica-{index}",
+            lease_ttl=30.0,
+        )
+        for index, repo in enumerate(repos)
+    ]
+    oracle = Oracle()
+    for chain in range(num_workers):
+        payload = [f"chain-{chain},row-{row}" for row in range(10)]
+        vid = services[chain % 2].commit(payload, parents=[], message=f"seed {chain}")
+        oracle.record(vid, payload)
+
+    errors: list[str] = []
+    mismatches: list[tuple[str, int]] = []
+    repacks_done = [0]
+    barrier = threading.Barrier(num_workers, timeout=30)
+
+    def checkout_with_sync(service: VersionStoreService, vid: str):
+        try:
+            return service.checkout(vid)
+        except KeyError:  # VersionNotFoundError included
+            # Committed through the peer replica; adopt its state.
+            service.repository.sync(force=True)
+            return service.checkout(vid)
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(seed * 1000 + worker_id)
+        service = services[worker_id % 2]
+        barrier.wait()
+        try:
+            for step in range(ops_per_worker):
+                roll = rng.random()
+                if roll < 0.20:  # commit through this replica
+                    (parent,) = oracle.sample(rng) or [None]
+                    if parent is None:
+                        continue
+                    payload = _mutate(rng, oracle.expected(parent), worker_id, step)
+                    try:
+                        vid = service.commit(
+                            payload, parents=[parent],
+                            message=f"w{worker_id} s{step}",
+                        )
+                    except KeyError:  # parent committed through the peer
+                        service.repository.sync(force=True)
+                        vid = service.commit(
+                            payload, parents=[parent],
+                            message=f"w{worker_id} s{step}",
+                        )
+                    oracle.record(vid, payload)
+                elif roll < 0.25:  # repack (only the lease holder may)
+                    try:
+                        report = service.repack(
+                            use_workload=True, threshold_factor=2.5
+                        )
+                        if report.get("applied"):
+                            repacks_done[0] += 1
+                    except NotLeaseHolderError:
+                        pass  # this worker's replica is a follower
+                elif roll < 0.35:  # explicit sync
+                    service.repository.sync(force=True)
+                else:  # checkout, cross-replica
+                    (vid,) = oracle.sample(rng) or [None]
+                    if vid is None:
+                        continue
+                    result = checkout_with_sync(service, vid)
+                    if result.payload != oracle.expected(vid):
+                        mismatches.append((vid, worker_id))
+        except BaseException:
+            import traceback
+
+            errors.append(traceback.format_exc())
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"replica-oracle-{i}")
+        for i in range(num_workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+
+    assert not errors, f"seed={seed}: worker raised\n{errors[0]}"
+    assert not mismatches, (
+        f"seed={seed}: {len(mismatches)} cross-replica checkout(s) diverged, "
+        f"first at {mismatches[0]}"
+    )
+    # Post-convergence: every version reads byte-identically from BOTH
+    # replicas — the group serves one logical store.
+    for service in services:
+        service.repository.sync(force=True)
+    with oracle._lock:
+        known = list(oracle._known)
+    for vid in known:
+        payloads = [checkout_with_sync(s, vid).payload for s in services]
+        assert payloads[0] == payloads[1] == oracle.expected(vid), (
+            f"seed={seed}: replicas diverged at {vid}"
+        )
+    for service in services:
+        service.close()
+    assert len(known) >= num_workers
+    return len(known), repacks_done[0]
+
+
+@pytest.mark.parametrize("stress_seed", [13], indirect=True)
+def test_multi_replica_interleaving_matches_oracle(stress_seed, tmp_path):
+    run_multi_replica_interleaving(stress_seed, tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("stress_seed", [5, 17], indirect=True)
+def test_multi_replica_interleaving_battery(stress_seed, tmp_path):
+    run_multi_replica_interleaving(
+        stress_seed, tmp_path, num_workers=6, ops_per_worker=50
+    )

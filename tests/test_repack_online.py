@@ -232,10 +232,10 @@ class TestServiceRepack:
         release_rebuild = threading.Event()
         original_rebuild = service.repacker.rebuild
 
-        def slow_rebuild(plan):
+        def slow_rebuild(plan, **kwargs):
             rebuild_started.set()
             assert release_rebuild.wait(timeout=10)
-            return original_rebuild(plan)
+            return original_rebuild(plan, **kwargs)
 
         service.repacker.rebuild = slow_rebuild
         repack_done = threading.Event()
@@ -277,10 +277,10 @@ class TestServiceRepack:
         release_rebuild = threading.Event()
         original_rebuild = service.repacker.rebuild
 
-        def slow_rebuild(plan):
+        def slow_rebuild(plan, **kwargs):
             rebuild_started.set()
             assert release_rebuild.wait(timeout=10)
-            return original_rebuild(plan)
+            return original_rebuild(plan, **kwargs)
 
         service.repacker.rebuild = slow_rebuild
         repack_thread = threading.Thread(target=lambda: service.repack(problem=1))
